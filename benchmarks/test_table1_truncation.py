@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (truncation sweep on crystm03, CG)."""
+
+from repro.experiments import table1
+
+
+def test_table1_truncation(once, scale):
+    data = once(table1.run, scale=scale, print_output=True,
+                max_iterations=8000)
+    # Shape assertions: full precision converges, deep exponent cut does not.
+    assert data["exp"][0]["iterations"] is not None     # exp=11
+    assert data["exp"][-1]["iterations"] is None        # exp=6 -> NC
+    assert data["frac"][0]["iterations"] is not None    # frac=52

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table V (matrix inventory with condition numbers)."""
+
+import os
+
+from repro.experiments import table5
+
+
+def test_table5_suite(once, scale):
+    with_kappa = os.environ.get("REPRO_SKIP_KAPPA") != "1"
+    data = once(table5.run, scale=scale, print_output=True,
+                with_condition=with_kappa)
+    assert len(data) == 12
+    for sid, d in data.items():
+        assert d["rows"] > 0 and d["nnz"] > d["rows"]

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build an editable wheel.  This shim
+lets pip fall back to the legacy ``setup.py develop`` path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

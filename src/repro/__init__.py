@@ -1,0 +1,49 @@
+"""repro — a from-scratch reproduction of ReFloat (SC'23).
+
+ReFloat is a block floating-point data format plus a ReRAM accelerator
+architecture for iterative linear solvers.  This package implements the
+format, the accelerator and its baselines as functional + timing models, the
+solvers, and the full evaluation harness.  Top-level re-exports cover the
+primary public API; see the subpackages for everything else:
+
+* :mod:`repro.formats`     — IEEE bit tools, ReFloat / Feinberg / BFP codecs
+* :mod:`repro.sparse`      — blocking, layouts, Matrix Market, matrix gallery
+* :mod:`repro.solvers`     — CG, BiCGSTAB, GMRES, stationary, refinement
+* :mod:`repro.operators`   — SpMV platforms (exact / ReFloat / Feinberg / noisy)
+* :mod:`repro.hardware`    — crossbar sim, processing engine, timing models
+* :mod:`repro.analysis`    — locality, memory accounting, trace utilities
+* :mod:`repro.experiments` — one runner per paper table/figure
+"""
+
+from repro.formats import DEFAULT_SPEC, ReFloatSpec
+from repro.operators import (
+    ExactOperator,
+    FeinbergFcOperator,
+    FeinbergOperator,
+    NoisyReFloatOperator,
+    ReFloatOperator,
+)
+from repro.solvers import ConvergenceCriterion, SolverResult, bicgstab, cg, gmres
+from repro.sparse import BlockedMatrix
+from repro.sparse.gallery import build_matrix, suite_ids
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "ReFloatSpec",
+    "ExactOperator",
+    "FeinbergFcOperator",
+    "FeinbergOperator",
+    "NoisyReFloatOperator",
+    "ReFloatOperator",
+    "ConvergenceCriterion",
+    "SolverResult",
+    "bicgstab",
+    "cg",
+    "gmres",
+    "BlockedMatrix",
+    "build_matrix",
+    "suite_ids",
+    "__version__",
+]

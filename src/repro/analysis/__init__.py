@@ -1,0 +1,15 @@
+"""Analysis utilities: locality, storage accounting, convergence traces."""
+
+from repro.analysis.convergence import downsample_trace, normalize_trace, trace_summary
+from repro.analysis.locality import block_range_histogram, locality_report
+from repro.analysis.memory import block_storage_bits, memory_overhead
+
+__all__ = [
+    "downsample_trace",
+    "normalize_trace",
+    "trace_summary",
+    "block_range_histogram",
+    "locality_report",
+    "block_storage_bits",
+    "memory_overhead",
+]

@@ -1,0 +1,52 @@
+"""Convergence-trace utilities (Fig. 9 post-processing)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.solvers.base import SolverResult
+
+__all__ = ["normalize_trace", "trace_summary", "downsample_trace"]
+
+
+def normalize_trace(result: SolverResult, time_per_iteration_s: float,
+                    reference_time_s: float) -> Dict[str, np.ndarray]:
+    """Express a residual trace on Fig. 9's x-axis.
+
+    Fig. 9 normalises the iteration axis by the *time* of the GPU baseline:
+    a platform whose iterations are cheaper stretches further left for the
+    same residual level.  Returns arrays ``x`` (normalised time) and ``r``
+    (residual norms).
+    """
+    if time_per_iteration_s <= 0 or reference_time_s <= 0:
+        raise ValueError("times must be positive")
+    history = np.asarray(result.residual_history, dtype=np.float64)
+    iters = np.arange(history.size)
+    x = iters * time_per_iteration_s / reference_time_s
+    return {"x": x, "r": history}
+
+
+def trace_summary(result: SolverResult) -> Dict[str, float]:
+    """Spike statistics of a residual trace (the paper notes refloat traces
+    spike more often than double but still converge)."""
+    h = np.asarray(result.residual_history, dtype=np.float64)
+    if h.size < 2:
+        return {"spikes": 0, "max_ratio": 1.0, "monotone_fraction": 1.0}
+    ratios = h[1:] / np.maximum(h[:-1], 1e-300)
+    spikes = int(np.sum(ratios > 1.0))
+    return {
+        "spikes": spikes,
+        "max_ratio": float(ratios.max()),
+        "monotone_fraction": float(np.mean(ratios <= 1.0)),
+    }
+
+
+def downsample_trace(history: Sequence[float], max_points: int = 64) -> List[float]:
+    """Thin a long residual history for compact reporting (keeps endpoints)."""
+    h = list(history)
+    if len(h) <= max_points:
+        return h
+    idx = np.unique(np.linspace(0, len(h) - 1, max_points).astype(int))
+    return [h[i] for i in idx]

@@ -1,0 +1,41 @@
+"""Storage accounting: the Section IV-A example and Table VIII ratios."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.formats.refloat import ReFloatSpec
+from repro.sparse.blocked import BlockedMatrix
+
+__all__ = ["block_storage_bits", "memory_overhead"]
+
+
+def block_storage_bits(nnz: int, spec: ReFloatSpec) -> Dict[str, int]:
+    """Bits to store one block's nonzeros — the paper's worked example.
+
+    For 8 scalars in ReFloat(2,2,3): ``8 * (2 + 2 + 6) + 2 * 30 + 11 = 151``
+    vs ``8 * (32 + 32 + 64) = 1024`` in indexed double precision.
+    """
+    refloat = (nnz * (2 * spec.b + spec.matrix_value_bits)
+               + 2 * (32 - spec.b) + 11)
+    baseline = nnz * (32 + 32 + 64)
+    return {"refloat_bits": refloat, "double_bits": baseline,
+            "ratio": refloat / baseline}
+
+
+def memory_overhead(A, spec: ReFloatSpec) -> Dict[str, float]:
+    """Table VIII: whole-matrix refloat/double storage ratio.
+
+    Sparser matrices (thermomech_*) pay relatively more block-index and
+    exponent-base overhead because blocks hold fewer nonzeros — the paper's
+    0.300/0.312 outliers vs ~0.173 for the dense-blocked matrices.
+    """
+    bm = A if isinstance(A, BlockedMatrix) else BlockedMatrix(A, b=spec.b)
+    refloat = bm.storage_bits_refloat(spec)
+    double = bm.storage_bits_double()
+    return {
+        "refloat_bits": float(refloat),
+        "double_bits": float(double),
+        "ratio": refloat / double,
+        "nnz_per_block": bm.nnz / max(bm.n_blocks, 1),
+    }

@@ -1,0 +1,23 @@
+"""CLI entry point: ``python -m repro.experiments <name> [--scale SCALE]``."""
+
+import argparse
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table/figure of the ReFloat paper.")
+    parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="experiment to run")
+    parser.add_argument("--scale", choices=["test", "default", "paper"],
+                        default=None,
+                        help="matrix scale (default: 'default', or 'paper' "
+                             "when REPRO_FULL=1)")
+    args = parser.parse_args()
+    run_experiment(args.name, scale=args.scale)
+
+
+if __name__ == "__main__":
+    main()

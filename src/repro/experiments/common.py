@@ -1,0 +1,158 @@
+"""Shared evaluation runner: solve every suite matrix on every platform.
+
+Fig. 8 (speedups), Fig. 9 (traces), Table VI (iterations) and Table VII
+(configurations) are all views of the same set of runs, so the runs are done
+once per (scale, solver) and cached in-process.
+
+Platforms (the Fig. 8 legend):
+
+* ``gpu``          — exact FP64 solve, timed with the V100 roofline model;
+* ``feinberg_fc``  — functionally-correct baseline: FP64 iterations charged
+                     with the [32] accelerator timing;
+* ``feinberg``     — the [32] functional model (vector window flaw); its own
+                     iteration count (or NC) with [32] timing;
+* ``refloat``      — ReFloat operator, its own iterations, ReFloat timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.formats.feinberg import FeinbergSpec
+from repro.formats.refloat import ReFloatSpec
+from repro.hardware.accelerator import MappingPlan, SolverTimingModel
+from repro.hardware.gpu import GPUSolverModel
+from repro.operators import ExactOperator, FeinbergOperator, ReFloatOperator
+from repro.solvers import ConvergenceCriterion, SolverResult, bicgstab, cg
+from repro.sparse.blocked import BlockedMatrix
+from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale, suite_ids
+
+__all__ = [
+    "PLATFORMS",
+    "SOLVERS",
+    "MatrixRun",
+    "default_spec_for",
+    "run_matrix",
+    "run_suite",
+    "geometric_mean",
+]
+
+PLATFORMS = ("gpu", "feinberg", "feinberg_fc", "refloat")
+SOLVERS: Dict[str, Callable[..., SolverResult]] = {"cg": cg, "bicgstab": bicgstab}
+
+#: SpMVs and n-length vector ops per iteration, per solver (Section VI-B:
+#: BiCGSTAB does two whole-matrix SpMVs per iteration).
+_SOLVER_SHAPE = {"cg": (1, 6), "bicgstab": (2, 12)}
+
+#: In-process cache of full-suite runs, keyed (scale, solver).
+_CACHE: Dict[tuple, Dict[int, "MatrixRun"]] = {}
+
+
+def default_spec_for(sid: int) -> ReFloatSpec:
+    """The Table VII configuration for a matrix (fv=16 for 1288/1848)."""
+    fv = PAPER_SUITE[sid].fv_override or 8
+    return ReFloatSpec(b=7, e=3, f=3, ev=3, fv=fv)
+
+
+@dataclass
+class MatrixRun:
+    """All platform results for one (matrix, solver) cell of Fig. 8."""
+
+    sid: int
+    name: str
+    solver: str
+    n_rows: int
+    nnz: int
+    n_blocks: int
+    results: Dict[str, SolverResult] = field(default_factory=dict)
+    times_s: Dict[str, float] = field(default_factory=dict)
+
+    def iterations(self, platform: str) -> Optional[int]:
+        res = self.results[platform]
+        return res.iterations if res.converged else None
+
+    def speedup(self, platform: str) -> float:
+        """Fig. 8's metric ``p = t_GPU / t_x`` (NaN when x did not converge)."""
+        t = self.times_s.get(platform)
+        if t is None or not math.isfinite(t):
+            return float("nan")
+        return self.times_s["gpu"] / t
+
+
+def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
+               criterion: Optional[ConvergenceCriterion] = None,
+               feinberg_spec: FeinbergSpec = FeinbergSpec()) -> MatrixRun:
+    """Solve one suite matrix on all four platforms and attach model times."""
+    if solver not in SOLVERS:
+        raise KeyError(f"solver must be one of {sorted(SOLVERS)}")
+    scale = resolve_scale(scale)
+    crit = criterion or ConvergenceCriterion(tol=1e-8, max_iterations=20000)
+    solve = SOLVERS[solver]
+    spmvs, vops = _SOLVER_SHAPE[solver]
+
+    info = PAPER_SUITE[sid]
+    A = info.matrix(scale)
+    n = A.shape[0]
+    b = A @ np.ones(n)
+    blocked = BlockedMatrix(A, b=7)
+    spec = default_spec_for(sid)
+
+    run = MatrixRun(sid=sid, name=info.name, solver=solver, n_rows=n,
+                    nnz=int(A.nnz), n_blocks=blocked.n_blocks)
+
+    run.results["gpu"] = solve(ExactOperator(A), b, criterion=crit)
+    run.results["feinberg"] = solve(FeinbergOperator(A, feinberg_spec), b, criterion=crit)
+    run.results["feinberg_fc"] = run.results["gpu"]  # identical numerics
+    run.results["refloat"] = solve(ReFloatOperator(A, spec), b, criterion=crit)
+
+    # --- timing models -------------------------------------------------
+    gpu_model = GPUSolverModel.cg() if solver == "cg" else GPUSolverModel.bicgstab()
+    it_gpu = run.results["gpu"].iterations
+    run.times_s["gpu"] = gpu_model.solve_time_s(it_gpu, n, run.nnz)
+
+    plan_f = MappingPlan.for_feinberg(run.n_blocks)
+    timing_f = SolverTimingModel(plan_f, spmvs_per_iteration=spmvs,
+                                 vector_ops_per_iteration=vops)
+    # Steady-state accounting (no one-time mapping write), matching the
+    # paper's speedup definition; matters only for few-iteration solves.
+    run.times_s["feinberg_fc"] = timing_f.solve_time_s(it_gpu, n,
+                                                       include_setup=False)
+    if run.results["feinberg"].converged:
+        run.times_s["feinberg"] = timing_f.solve_time_s(
+            run.results["feinberg"].iterations, n, include_setup=False)
+    else:
+        run.times_s["feinberg"] = float("inf")
+
+    plan_r = MappingPlan.for_refloat(run.n_blocks, spec)
+    timing_r = SolverTimingModel(plan_r, spmvs_per_iteration=spmvs,
+                                 vector_ops_per_iteration=vops)
+    if run.results["refloat"].converged:
+        run.times_s["refloat"] = timing_r.solve_time_s(
+            run.results["refloat"].iterations, n, include_setup=False)
+    else:
+        run.times_s["refloat"] = float("inf")
+    return run
+
+
+def run_suite(solver: str, scale: Optional[str] = None,
+              use_cache: bool = True) -> Dict[int, MatrixRun]:
+    """Run (or fetch) the full 12-matrix evaluation for one solver."""
+    scale = resolve_scale(scale)
+    key = (scale, solver)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    runs = {sid: run_matrix(sid, solver, scale) for sid in suite_ids()}
+    _CACHE[key] = runs
+    return runs
+
+
+def geometric_mean(values: List[float]) -> float:
+    """GMN over finite positive entries (the paper's summary statistic)."""
+    vals = [v for v in values if v > 0 and math.isfinite(v)]
+    if not vals:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(vals))))

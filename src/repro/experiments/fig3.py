@@ -1,0 +1,61 @@
+"""Figure 3: cost-model sweeps (a-c) and exponent locality (d)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.locality import locality_report
+from repro.experiments.reporting import format_table
+from repro.hardware.cost import crossbars_per_engine, cycles_per_block_mvm
+from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale, suite_ids
+
+__all__ = ["run", "collect"]
+
+
+def collect(scale: Optional[str] = None) -> Dict[str, list]:
+    # (a) cycles vs exponent bits of vector and matrix (f = fv = 52).
+    sweep_a = [{"ev": ev, "eM": eM,
+                "cycles": cycles_per_block_mvm(eM, 52, ev, 52)}
+               for ev in range(0, 11, 2) for eM in range(0, 11, 2)]
+    # (b) cycles vs fraction bits (e = ev = 3).
+    sweep_b = [{"fv": fv, "fM": fM,
+                "cycles": cycles_per_block_mvm(3, fM, 3, fv)}
+               for fv in range(0, 53, 13) for fM in range(0, 53, 13)]
+    # (c) crossbars vs exponent/fraction bits of the matrix.
+    sweep_c = [{"eM": eM, "fM": fM, "crossbars": crossbars_per_engine(eM, fM)}
+               for eM in range(0, 11, 2) for fM in range(0, 53, 13)]
+    # (d) locality of the 12 matrices.
+    scale = resolve_scale(scale)
+    locality = []
+    for sid in suite_ids():
+        A = PAPER_SUITE[sid].matrix(scale)
+        rep = locality_report(A, b=7)
+        rep["sid"] = sid
+        rep["name"] = PAPER_SUITE[sid].name
+        locality.append(rep)
+    return {"a": sweep_a, "b": sweep_b, "c": sweep_c, "d": locality}
+
+
+def run(scale: Optional[str] = None, print_output: bool = True) -> Dict[str, list]:
+    data = collect(scale)
+    if print_output:
+        print(format_table(
+            ["ev", "eM", "cycles"],
+            [[d["ev"], d["eM"], d["cycles"]] for d in data["a"]],
+            title="\nFig. 3a — cycles vs exponent bits (f=fv=52): "
+                  "exponential in both"))
+        print(format_table(
+            ["fv", "fM", "cycles"],
+            [[d["fv"], d["fM"], d["cycles"]] for d in data["b"]],
+            title="\nFig. 3b — cycles vs fraction bits (e=ev=3): linear"))
+        print(format_table(
+            ["eM", "fM", "crossbars"],
+            [[d["eM"], d["fM"], d["crossbars"]] for d in data["c"]],
+            title="\nFig. 3c — crossbars: exponential in eM, linear in fM"))
+        print(format_table(
+            ["id", "name", "FP64", "matrix bits", "locality", "ReFloat"],
+            [[d["sid"], d["name"], d["fp64_bits"], d["matrix_bits"],
+              d["locality_bits"], d["refloat_bits"]] for d in data["d"]],
+            title="\nFig. 3d — exponent bits: FP64 vs per-block locality vs "
+                  "ReFloat"))
+    return data

@@ -1,0 +1,56 @@
+"""Figure 8: solver-time speedup over the GPU for the four platforms."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import geometric_mean, run_suite
+from repro.experiments.reporting import format_table
+from repro.sparse.gallery.suite import suite_ids
+
+__all__ = ["run", "collect"]
+
+
+def collect(scale: Optional[str] = None) -> Dict[str, dict]:
+    """Speedup table data for both solvers.
+
+    Returns ``{solver: {"rows": [...], "gmn": {platform: gmn}}}`` where each
+    row is (sid, name, speedup_feinberg, speedup_feinberg_fc, speedup_refloat)
+    with NaN marking non-convergence (the paper's NC).
+    """
+    out: Dict[str, dict] = {}
+    for solver in ("cg", "bicgstab"):
+        runs = run_suite(solver, scale)
+        rows = []
+        per_platform = {"feinberg": [], "feinberg_fc": [], "refloat": []}
+        for sid in suite_ids():
+            run = runs[sid]
+            row = [sid, run.name]
+            for platform in ("feinberg", "feinberg_fc", "refloat"):
+                s = run.speedup(platform)
+                row.append(s)
+                per_platform[platform].append(s)
+            rows.append(row)
+        gmn = {p: geometric_mean([v for v in vals if v == v])
+               for p, vals in per_platform.items()}
+        out[solver] = {"rows": rows, "gmn": gmn}
+    return out
+
+
+def run(scale: Optional[str] = None, print_output: bool = True) -> Dict[str, dict]:
+    """Regenerate Fig. 8 (printed as two tables, one per solver)."""
+    data = collect(scale)
+    if print_output:
+        for solver, block in data.items():
+            rows = [[sid, name,
+                     f if f == f else "NC", fc, rf if rf == rf else "NC"]
+                    for sid, name, f, fc, rf in block["rows"]]
+            print(format_table(
+                ["id", "matrix", "Feinberg", "Feinberg-fc", "ReFloat"],
+                rows,
+                title=f"\nFig. 8 [{solver.upper()}] — speedup vs GPU (GPU = 1.0)"))
+            g = block["gmn"]
+            print(f"GMN: Feinberg-fc {g['feinberg_fc']:.4g}x, "
+                  f"ReFloat {g['refloat']:.4g}x "
+                  f"(paper: 0.8362x / 12.59x CG, 1.036x / 13.34x BiCGSTAB)")
+    return data

@@ -1,0 +1,65 @@
+"""Figure 9: residual convergence traces, x normalised to GPU solve time."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.convergence import downsample_trace, normalize_trace, trace_summary
+from repro.experiments.common import run_suite
+from repro.experiments.reporting import format_table
+from repro.sparse.gallery.suite import suite_ids
+
+__all__ = ["run", "collect"]
+
+
+def collect(scale: Optional[str] = None, max_points: int = 48) -> Dict[str, dict]:
+    """Per (solver, matrix, platform) traces on the normalised time axis."""
+    out: Dict[str, dict] = {}
+    for solver in ("cg", "bicgstab"):
+        runs = run_suite(solver, scale)
+        per_matrix = {}
+        for sid in suite_ids():
+            run = runs[sid]
+            t_gpu = run.times_s["gpu"]
+            series = {}
+            for platform in ("gpu", "feinberg_fc", "refloat"):
+                res = run.results[platform]
+                iters = max(len(res.residual_history) - 1, 1)
+                t_platform = run.times_s.get(platform)
+                if t_platform is None or t_platform != t_platform or t_platform == float("inf"):
+                    t_platform = t_gpu
+                trace = normalize_trace(res, t_platform / iters, t_gpu)
+                series[platform] = {
+                    "x": downsample_trace(trace["x"].tolist(), max_points),
+                    "r": downsample_trace(trace["r"].tolist(), max_points),
+                    "converged": res.converged,
+                    "summary": trace_summary(res),
+                }
+            per_matrix[sid] = {"name": run.name, "series": series}
+        out[solver] = per_matrix
+    return out
+
+
+def run(scale: Optional[str] = None, print_output: bool = True) -> Dict[str, dict]:
+    data = collect(scale)
+    if print_output:
+        for solver, per_matrix in data.items():
+            rows = []
+            for sid, d in per_matrix.items():
+                gpu = d["series"]["gpu"]
+                rf = d["series"]["refloat"]
+                rows.append([
+                    sid, d["name"],
+                    gpu["x"][-1], gpu["r"][-1],
+                    rf["x"][-1] if rf["converged"] else float("nan"),
+                    rf["r"][-1],
+                    rf["summary"]["spikes"], gpu["summary"]["spikes"],
+                ])
+            print(format_table(
+                ["id", "matrix", "gpu x_end", "gpu r_end", "rf x_end",
+                 "rf r_end", "rf spikes", "dbl spikes"],
+                rows,
+                title=(f"\nFig. 9 [{solver.upper()}] — trace endpoints on the "
+                       "GPU-normalised time axis (x < 1 means faster than GPU; "
+                       "refloat spikes more but converges, as the paper notes)")))
+    return data

@@ -1,0 +1,69 @@
+"""Table I: iterations to convergence under naive exp/frac truncation
+(crystm03, CG).
+
+Two sweeps, as in the paper: fraction bits at full (11-bit) exponent, and
+exponent bits at full (52-bit) fraction.  NC = the solver hit its budget,
+diverged, or broke down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.operators import TruncatedOperator
+from repro.solvers import ConvergenceCriterion, cg
+from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale
+
+__all__ = ["run", "collect", "FRAC_SWEEP", "EXP_SWEEP", "PAPER_TABLE1"]
+
+FRAC_SWEEP = [52, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20]
+EXP_SWEEP = [11, 10, 9, 8, 7, 6]
+
+#: The paper's Table I iteration counts (NC = None).
+PAPER_TABLE1 = {
+    ("frac", 52): 80, ("frac", 30): 82, ("frac", 29): 82, ("frac", 28): 83,
+    ("frac", 27): 83, ("frac", 26): 84, ("frac", 25): 90, ("frac", 24): 93,
+    ("frac", 23): 93, ("frac", 22): 95, ("frac", 21): 107, ("frac", 20): None,
+    ("exp", 11): 80, ("exp", 10): 80, ("exp", 9): 80, ("exp", 8): 80,
+    ("exp", 7): 20620, ("exp", 6): None,
+}
+
+
+def collect(scale: Optional[str] = None, sid: int = 355,
+            max_iterations: int = 20000) -> Dict[str, List[dict]]:
+    scale = resolve_scale(scale)
+    A = PAPER_SUITE[sid].matrix(scale)
+    b = A @ np.ones(A.shape[0])
+    crit = ConvergenceCriterion(tol=1e-8, max_iterations=max_iterations)
+
+    def solve(exp_bits, frac_bits):
+        op = TruncatedOperator(A, exp_bits=exp_bits, frac_bits=frac_bits)
+        res = cg(op, b, criterion=crit)
+        return res.iterations if res.converged else None
+
+    out = {"frac": [], "exp": []}
+    for f in FRAC_SWEEP:
+        out["frac"].append({"exp": 11, "frac": f, "iterations": solve(11, f),
+                            "paper": PAPER_TABLE1[("frac", f)]})
+    for e in EXP_SWEEP:
+        out["exp"].append({"exp": e, "frac": 52, "iterations": solve(e, 52),
+                           "paper": PAPER_TABLE1[("exp", e)]})
+    return out
+
+
+def run(scale: Optional[str] = None, print_output: bool = True,
+        **kwargs) -> Dict[str, List[dict]]:
+    data = collect(scale, **kwargs)
+    if print_output:
+        for sweep, label in (("frac", "fraction sweep (exp=11)"),
+                             ("exp", "exponent sweep (frac=52)")):
+            rows = [[d["exp"], d["frac"],
+                     d["iterations"] if d["iterations"] is not None else "NC",
+                     d["paper"] if d["paper"] is not None else "NC"]
+                    for d in data[sweep]]
+            print(format_table(["exp", "frac", "#ite", "paper #ite"], rows,
+                               title=f"\nTable I — {label}, crystm03 analog, CG"))
+    return data

@@ -1,0 +1,63 @@
+"""Table VI: absolute iteration counts, double vs refloat, per solver."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import run_suite
+from repro.experiments.reporting import format_table
+from repro.sparse.gallery.suite import suite_ids
+
+__all__ = ["run", "collect"]
+
+#: The paper's Table VI, for side-by-side comparison in reports.
+PAPER_TABLE6 = {
+    # sid: (cg_double, cg_refloat, bicg_double, bicg_refloat)
+    353: (68, 85, 49, 51),
+    1313: (52, 55, 34, 69),
+    354: (81, 95, 58, 79),
+    2261: (11, 11, 7, 7),
+    1288: (262, 305, 195, 205),
+    1311: (1, 1, 1, 1),
+    1289: (294, 401, 211, 317),
+    355: (80, 95, 59, 52),
+    2257: (55, 56, 43, 36),
+    1848: (162, 214, 118, 145),
+    2259: (57, 58, 45, 36),
+    845: (53, 54, 41, 35),
+}
+
+
+def collect(scale: Optional[str] = None) -> Dict[int, dict]:
+    cg_runs = run_suite("cg", scale)
+    bi_runs = run_suite("bicgstab", scale)
+    out = {}
+    for sid in suite_ids():
+        out[sid] = {
+            "name": cg_runs[sid].name,
+            "cg_double": cg_runs[sid].iterations("gpu"),
+            "cg_refloat": cg_runs[sid].iterations("refloat"),
+            "bicgstab_double": bi_runs[sid].iterations("gpu"),
+            "bicgstab_refloat": bi_runs[sid].iterations("refloat"),
+        }
+    return out
+
+
+def run(scale: Optional[str] = None, print_output: bool = True) -> Dict[int, dict]:
+    data = collect(scale)
+    if print_output:
+        rows = []
+        for sid, d in data.items():
+            cd, cr = d["cg_double"], d["cg_refloat"]
+            bd, br = d["bicgstab_double"], d["bicgstab_refloat"]
+            delta_c = (cr - cd) if (cr is not None and cd is not None) else None
+            delta_b = (br - bd) if (br is not None and bd is not None) else None
+            pc = PAPER_TABLE6[sid]
+            rows.append([sid, d["name"], cd, cr, delta_c,
+                         f"{pc[0]}/{pc[1]}", bd, br, delta_b,
+                         f"{pc[2]}/{pc[3]}"])
+        print(format_table(
+            ["id", "matrix", "CG dbl", "CG rf", "+/-", "paper",
+             "Bi dbl", "Bi rf", "+/-", "paper"],
+            rows, title="\nTable VI — iterations to convergence"))
+    return data

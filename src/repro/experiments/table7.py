@@ -1,0 +1,32 @@
+"""Table VII: the bit configuration used per matrix/solver."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import default_spec_for
+from repro.experiments.reporting import format_table
+from repro.sparse.gallery.suite import PAPER_SUITE, suite_ids
+
+__all__ = ["run", "collect"]
+
+
+def collect(scale: Optional[str] = None) -> Dict[int, dict]:
+    out = {}
+    for sid in suite_ids():
+        spec = default_spec_for(sid)
+        out[sid] = {"name": PAPER_SUITE[sid].name, "e": spec.e, "f": spec.f,
+                    "ev": spec.ev, "fv": spec.fv,
+                    "note": "fv=16 exception" if PAPER_SUITE[sid].fv_override else ""}
+    return out
+
+
+def run(scale: Optional[str] = None, print_output: bool = True) -> Dict[int, dict]:
+    data = collect(scale)
+    if print_output:
+        rows = [[sid, d["name"], d["e"], d["f"], d["ev"], d["fv"], d["note"]]
+                for sid, d in data.items()]
+        print(format_table(["id", "name", "e", "f", "ev", "fv", "note"], rows,
+                           title="\nTable VII — ReFloat bit configuration "
+                                 "(paper: e=3 f=3 ev=3 fv=8; fv=16 for 1288/1848)"))
+    return data

@@ -1,0 +1,69 @@
+"""Number formats: IEEE-754 bit tools, ReFloat, Feinberg, BFP, format zoo."""
+
+from repro.formats.ieee import (
+    EXP_ZERO,
+    FRAC_BITS,
+    EXP_BIAS,
+    decompose,
+    compose,
+    exponent_of,
+    truncate_fraction,
+    round_fraction,
+    quantize_ieee,
+)
+from repro.formats.refloat import (
+    ReFloatSpec,
+    DEFAULT_SPEC,
+    EncodedBlock,
+    optimal_exponent_base,
+    covering_exponent_base,
+    exponent_loss,
+    offset_bounds,
+    quantize_values,
+    encode_values,
+    decode_values,
+    quantize_vector,
+    quantize_vector_storage,
+    vector_segment_bases,
+)
+from repro.formats.feinberg import (
+    FeinbergSpec,
+    matrix_anchor_exponent,
+    quantize_vector_feinberg,
+)
+from repro.formats.bfp import BFPSpec, quantize_block_bfp, quantize_vector_bfp
+from repro.formats.zoo import FORMAT_ZOO, named_spec, quantize_to_named_format
+
+__all__ = [
+    "EXP_ZERO",
+    "FRAC_BITS",
+    "EXP_BIAS",
+    "decompose",
+    "compose",
+    "exponent_of",
+    "truncate_fraction",
+    "round_fraction",
+    "quantize_ieee",
+    "ReFloatSpec",
+    "DEFAULT_SPEC",
+    "EncodedBlock",
+    "optimal_exponent_base",
+    "covering_exponent_base",
+    "exponent_loss",
+    "offset_bounds",
+    "quantize_values",
+    "encode_values",
+    "decode_values",
+    "quantize_vector",
+    "quantize_vector_storage",
+    "vector_segment_bases",
+    "FeinbergSpec",
+    "matrix_anchor_exponent",
+    "quantize_vector_feinberg",
+    "BFPSpec",
+    "quantize_block_bfp",
+    "quantize_vector_bfp",
+    "FORMAT_ZOO",
+    "named_spec",
+    "quantize_to_named_format",
+]

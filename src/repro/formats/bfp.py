@@ -1,0 +1,77 @@
+"""Block floating point (BFP) — the non-dynamic-range baseline of Section II-C.
+
+In BFP a block of values shares a single exponent and each element stores a
+*fixed-point* mantissa aligned to that exponent.  Unlike ReFloat there is no
+per-element exponent offset: a value ``2^k`` below the shared exponent loses
+``k`` mantissa bits outright, which is why "1e-40 and 1e-30 cannot be captured
+by a BFP block" (the small one underflows to zero once ``k`` exceeds the
+mantissa width).
+
+Table III expresses BFP64 as ``ReFloat(6, 0, 52)`` — zero offset bits.  This
+module provides the direct fixed-point formulation, used for cross-checking
+that equivalence and for the format-comparison example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats import ieee
+
+__all__ = ["BFPSpec", "quantize_block_bfp", "quantize_vector_bfp"]
+
+
+@dataclass(frozen=True)
+class BFPSpec:
+    """Block floating point with ``2^b``-element blocks and m-bit mantissas."""
+
+    b: int = 7
+    mantissa_bits: int = 52
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.b <= 12:
+            raise ValueError(f"b must be in [0, 12], got {self.b}")
+        if not 1 <= self.mantissa_bits <= 63:
+            raise ValueError(f"mantissa_bits must be in [1, 63], got {self.mantissa_bits}")
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.b
+
+
+def quantize_block_bfp(values, spec: BFPSpec) -> Tuple[np.ndarray, int]:
+    """Quantise one block to BFP: shared max exponent, fixed-point mantissas.
+
+    The shared exponent is the block's maximum element exponent (standard BFP
+    normalisation).  Each element becomes
+    ``round_to_zero(x / 2^(emax - m + 1)) * 2^(emax - m + 1)`` with ``m``
+    mantissa bits (including the integer bit of the largest element).
+
+    Returns ``(quantized, shared_exponent)``.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    _, exp, _ = ieee.decompose(x)
+    nz = exp != ieee.EXP_ZERO
+    if not np.any(nz):
+        return np.zeros_like(x), 0
+    emax = int(exp[nz].max())
+    # Unit in the last place of the fixed-point grid.
+    ulp_exp = emax - spec.mantissa_bits + 1
+    scale = np.ldexp(1.0, -ulp_exp)
+    q = np.trunc(x * scale)
+    # The largest-magnitude element uses all mantissa_bits; no clipping needed
+    # because |x| < 2^(emax+1) implies |q| < 2^mantissa_bits.
+    return q / scale, emax
+
+
+def quantize_vector_bfp(x, spec: BFPSpec) -> np.ndarray:
+    """Quantise a vector block-by-block with :func:`quantize_block_bfp`."""
+    x = np.asarray(x, dtype=np.float64)
+    size = spec.block_size
+    out = np.empty_like(x)
+    for start in range(0, x.size, size):
+        out[start:start + size], _ = quantize_block_bfp(x[start:start + size], spec)
+    return out

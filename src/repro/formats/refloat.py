@@ -1,0 +1,443 @@
+"""The ReFloat data format (Section IV of the paper).
+
+``ReFloat(b, e, f)(ev, fv)`` represents a ``2^b × 2^b`` matrix block by
+
+* one shared exponent base ``eb`` per block — the round-to-nearest mean of the
+  element exponents, which is the closed-form minimiser of the paper's loss
+  (Eq. 5);
+* per element: 1 sign bit, an ``e``-bit signed exponent *offset* from ``eb``
+  saturated to ``[-(2^(e-1)-1), +(2^(e-1)-1)]``, and the leading ``f`` bits of
+  the IEEE fraction.
+
+Vector segments of length ``2^b`` use the same scheme with ``(ev, fv)`` bits
+and their own base ``ebv`` (Section V-B's vector converter).
+
+This module implements the scalar/array codec; the sparse-block machinery that
+applies it per matrix block lives in :mod:`repro.sparse.blocked`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.formats import ieee
+from repro.util.validation import check_nonnegative_int
+
+__all__ = [
+    "ReFloatSpec",
+    "DEFAULT_SPEC",
+    "EncodedBlock",
+    "optimal_exponent_base",
+    "covering_exponent_base",
+    "exponent_loss",
+    "offset_bounds",
+    "quantize_values",
+    "encode_values",
+    "decode_values",
+    "quantize_vector",
+    "quantize_vector_storage",
+    "vector_segment_bases",
+]
+
+
+def _check_bits(value: int, name: str, hi: int) -> int:
+    value = check_nonnegative_int(value, name)
+    if value > hi:
+        raise ValueError(f"{name} must be <= {hi}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ReFloatSpec:
+    """Hyper-parameters of a ``ReFloat(b, e, f)(ev, fv)`` format.
+
+    Parameters
+    ----------
+    b : int
+        log2 of the square block edge; blocks are ``2^b x 2^b`` and vector
+        segments have length ``2^b``.  The paper uses ``b = 7`` (128x128
+        crossbars).
+    e, f : int
+        Exponent-offset and fraction bit counts for matrix blocks.
+    ev, fv : int
+        Exponent-offset and fraction bit counts for vector segments.
+    rounding : str
+        ``"truncate"`` (paper default: keep leading fraction bits) or
+        ``"nearest"``.
+    underflow : str
+        Treatment of values whose exponent falls *below* the offset window:
+        ``"flush"`` (default) drops them to zero — the fixed-point semantics
+        of a window-aligned datapath (the value is below the representable
+        LSB), matching how crossbar bit-slices behave; ``"saturate"`` clamps
+        the offset at its minimum, *inflating* tiny values to the window
+        bottom.  Values above the window always saturate downward at the top
+        (only reachable with ``eb_policy="mean"``).
+    eb_policy : str
+        How the per-block exponent base is chosen:
+
+        * ``"cover"`` (default) — ``eb = e_max - (2^(e-1) - 1)``, anchoring
+          the offset window at the block's largest exponent, exactly like the
+          padding alignment of the crossbar mapping.  Whenever the block's
+          exponent range fits the ``2^e``-binade window (the paper's Fig. 3d
+          locality data: every evaluated matrix fits with e=3), exponents are
+          represented *exactly*; out-of-window small values saturate upward —
+          a bounded error of at most ``2^(e_max - 2^e + 1)``, i.e. relative to
+          the block's largest value, which preserves positive-definiteness.
+        * ``"mean"`` — the literal Eq. 5 closed form (round of the mean
+          exponent).  Minimises the unclipped exponent loss, but on blocks
+          with skewed exponent distributions it can push the *largest*
+          entries out of window and shrink them by power-of-two factors,
+          destroying SPD-ness.  Kept for fidelity/ablation.
+    """
+
+    b: int = 7
+    e: int = 3
+    f: int = 3
+    ev: int = 3
+    fv: int = 8
+    rounding: str = "truncate"
+    underflow: str = "flush"
+    eb_policy: str = "cover"
+
+    def __post_init__(self) -> None:
+        _check_bits(self.b, "b", 12)
+        _check_bits(self.e, "e", 11)
+        _check_bits(self.f, "f", ieee.FRAC_BITS)
+        _check_bits(self.ev, "ev", 11)
+        _check_bits(self.fv, "fv", ieee.FRAC_BITS)
+        if self.rounding not in ("truncate", "nearest"):
+            raise ValueError(
+                f"rounding must be 'truncate' or 'nearest', got {self.rounding!r}"
+            )
+        if self.underflow not in ("flush", "saturate"):
+            raise ValueError(
+                f"underflow must be 'flush' or 'saturate', got {self.underflow!r}"
+            )
+        if self.eb_policy not in ("cover", "mean"):
+            raise ValueError(
+                f"eb_policy must be 'cover' or 'mean', got {self.eb_policy!r}"
+            )
+
+    # ---- derived sizes -------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Edge length of a square block (= vector segment length)."""
+        return 1 << self.b
+
+    @property
+    def matrix_value_bits(self) -> int:
+        """Stored bits per matrix element: sign + offset + fraction."""
+        return 1 + self.e + self.f
+
+    @property
+    def vector_value_bits(self) -> int:
+        """Stored bits per vector element: sign + offset + fraction."""
+        return 1 + self.ev + self.fv
+
+    def with_vector_bits(self, ev: Optional[int] = None, fv: Optional[int] = None) -> "ReFloatSpec":
+        """Copy of this spec with different vector bit counts."""
+        return replace(
+            self,
+            ev=self.ev if ev is None else ev,
+            fv=self.fv if fv is None else fv,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReFloat({self.b},{self.e},{self.f})({self.ev},{self.fv})"
+
+
+#: The paper's default evaluation configuration (Table VII).
+DEFAULT_SPEC = ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)
+
+
+def offset_bounds(e: int) -> Tuple[int, int]:
+    """Saturation range of an ``e``-bit two's-complement exponent offset.
+
+    We use the full signed range ``[-2^(e-1), 2^(e-1) - 1]`` (what an e-bit
+    hardware field holds).  The paper's text states the symmetric window
+    ``[eb - 2^(e-1) + 1, eb + 2^(e-1) - 1]``; the one extra negative code only
+    widens the representable window downward and is required for the Fig. 3d
+    locality argument (e=3 covering a 7-binade spread) to hold exactly.
+    ``e = 0`` degenerates to the single offset 0 (pure BFP exponent-wise).
+    """
+    if e <= 0:
+        return (0, 0)
+    half = 1 << (e - 1)
+    return (-half, half - 1)
+
+
+def optimal_exponent_base(exponents: np.ndarray) -> int:
+    """Closed-form minimiser of the exponent loss (Eq. 5): round(mean).
+
+    ``exponents`` must be the unbiased exponents of the *nonzero* elements of
+    one block.  Empty input returns base 0 (any base represents an all-zero
+    block exactly).
+    Round-half-up is used so the result is deterministic across platforms.
+    """
+    exps = np.asarray(exponents, dtype=np.float64)
+    if exps.size == 0:
+        return 0
+    return int(np.floor(exps.mean() + 0.5))
+
+
+def covering_exponent_base(max_exponent: int, e: int) -> int:
+    """Base anchoring the offset window at the block's largest exponent.
+
+    ``eb = e_max - (2^(e-1) - 1)`` puts the top of the two's-complement
+    window exactly on ``e_max`` — the hardware padding alignment.  The
+    largest entries are never shrunk; entries more than ``2^e - 1`` binades
+    below the max saturate upward with error bounded relative to the block
+    maximum.
+    """
+    if e <= 0:
+        return int(max_exponent)
+    return int(max_exponent) - ((1 << (e - 1)) - 1)
+
+
+def exponent_loss(exponents: np.ndarray, eb: int) -> float:
+    """The paper's loss L(eb) = sum over block of ((a)_e - eb)^2 (Eq. 4)."""
+    exps = np.asarray(exponents, dtype=np.float64)
+    return float(np.sum((exps - eb) ** 2))
+
+
+def quantize_values(
+    values,
+    e: int,
+    f: int,
+    eb=None,
+    rounding: str = "truncate",
+    eb_policy: str = "cover",
+    underflow: str = "flush",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantise values to ReFloat with a shared (or per-value) exponent base.
+
+    Parameters
+    ----------
+    values : array_like of float64
+        Finite values; zeros pass through exactly.
+    e, f : int
+        Offset / fraction bit counts.
+    eb : int, array_like of int, or None
+        Exponent base.  ``None`` computes the base over the nonzero values
+        (treating the whole input as one block) according to ``eb_policy``.
+        An array gives each value its own base (used for grouped per-block
+        quantisation).
+    rounding : str
+        ``"truncate"`` or ``"nearest"``.
+    eb_policy : str
+        ``"cover"`` or ``"mean"`` — used only when ``eb`` is ``None``.
+
+    Returns
+    -------
+    quantized : ndarray of float64
+        The decoded (reconstructed) quantised values.
+    eb_used : ndarray of int32
+        Exponent base applied to each value.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    sign, exp, frac = ieee.decompose(values)
+    zero = exp == ieee.EXP_ZERO
+
+    if eb is None:
+        nz_exp = exp[~zero]
+        if nz_exp.size == 0:
+            eb_scalar = 0
+        elif eb_policy == "cover":
+            eb_scalar = covering_exponent_base(int(nz_exp.max()), e)
+        elif eb_policy == "mean":
+            eb_scalar = optimal_exponent_base(nz_exp)
+        else:
+            raise ValueError(f"eb_policy must be 'cover' or 'mean', got {eb_policy!r}")
+        eb_arr = np.full(values.shape, eb_scalar, dtype=np.int32)
+    else:
+        eb_arr = np.broadcast_to(np.asarray(eb, dtype=np.int32), values.shape).copy()
+
+    if rounding == "truncate":
+        qfrac = ieee.truncate_fraction(frac, f)
+        carry = np.zeros(values.shape, dtype=bool)
+    elif rounding == "nearest":
+        qfrac, carry = ieee.round_fraction(frac, f)
+    else:
+        raise ValueError(f"rounding must be 'truncate' or 'nearest', got {rounding!r}")
+
+    lo, hi = offset_bounds(e)
+    exp_adj = exp.astype(np.int64) + carry
+    raw_offset = exp_adj - eb_arr
+    offset = np.clip(raw_offset, lo, hi)
+    qexp = eb_arr + offset
+    if underflow == "flush":
+        below = (~zero) & (raw_offset < lo)
+        qexp = np.where(below, np.int64(ieee.EXP_ZERO), qexp)
+        qfrac = np.where(below, np.uint64(0), qfrac)
+    elif underflow != "saturate":
+        raise ValueError(f"underflow must be 'flush' or 'saturate', got {underflow!r}")
+    qexp = np.where(zero, np.int64(ieee.EXP_ZERO), qexp)
+    out = ieee.compose(sign, qexp, qfrac)
+    return out, eb_arr
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """Explicit bit-level encoding of one block's nonzero values.
+
+    This is the representation a processing engine consumes: integer fields
+    rather than reconstructed floats.  ``frac`` holds the *f*-bit fraction as
+    the top bits already shifted down (an integer in ``[0, 2^f)``).
+    """
+
+    eb: int
+    sign: np.ndarray  # int8, 0/1
+    offset: np.ndarray  # int32 in [lo, hi]
+    frac: np.ndarray  # uint64 in [0, 2^f)
+    e: int
+    f: int
+
+    @property
+    def size(self) -> int:
+        return int(self.sign.size)
+
+
+def encode_values(values, e: int, f: int, eb: Optional[int] = None,
+                  rounding: str = "truncate",
+                  eb_policy: str = "cover") -> EncodedBlock:
+    """Encode values into explicit ReFloat fields (one shared base).
+
+    Zeros are not representable in an :class:`EncodedBlock`; callers encode
+    only the nonzeros of a sparse block.  Passing zeros raises ``ValueError``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if np.any(values == 0.0):
+        raise ValueError("encode_values encodes nonzeros only; filter zeros first")
+    sign, exp, frac = ieee.decompose(values)
+    if eb is None:
+        if eb_policy == "cover":
+            eb = covering_exponent_base(int(exp.max()), e)
+        else:
+            eb = optimal_exponent_base(exp)
+    if rounding == "truncate":
+        qfrac = ieee.truncate_fraction(frac, f)
+        carry = np.zeros(values.shape, dtype=np.int64)
+    else:
+        qfrac, carry_b = ieee.round_fraction(frac, f)
+        carry = carry_b.astype(np.int64)
+    lo, hi = offset_bounds(e)
+    offset = np.clip(exp.astype(np.int64) + carry - eb, lo, hi).astype(np.int32)
+    frac_small = (qfrac >> np.uint64(ieee.FRAC_BITS - f)) if f < ieee.FRAC_BITS else qfrac
+    return EncodedBlock(eb=int(eb), sign=sign, offset=offset,
+                        frac=frac_small.astype(np.uint64), e=e, f=f)
+
+
+def decode_values(block: EncodedBlock) -> np.ndarray:
+    """Reconstruct float64 values from an :class:`EncodedBlock`."""
+    f = block.f
+    frac52 = (block.frac << np.uint64(ieee.FRAC_BITS - f)) if f < ieee.FRAC_BITS else block.frac
+    qexp = block.eb + block.offset.astype(np.int64)
+    return ieee.compose(block.sign, qexp, frac52)
+
+
+def vector_segment_bases(x, b: int, ev: Optional[int] = None,
+                         eb_policy: str = "cover") -> np.ndarray:
+    """Per-segment exponent bases for a vector (the Fig. 6d converter).
+
+    The vector is split into contiguous segments of ``2^b`` (the last segment
+    may be shorter).  Policy ``"cover"`` (requires ``ev``) anchors each
+    segment's window at its largest exponent; ``"mean"`` applies Eq. 5 per
+    segment.  Segments with no nonzero entries get base 0.
+
+    Returns an int32 array of length ``ceil(len(x) / 2^b)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    size = 1 << b
+    nseg = -(-x.size // size)
+    _, exp, _ = ieee.decompose(x)
+    nonzero = exp != ieee.EXP_ZERO
+    seg_ids = np.arange(x.size) >> b
+    counts = np.bincount(seg_ids, weights=nonzero.astype(np.float64), minlength=nseg)
+    if eb_policy == "cover":
+        if ev is None:
+            raise ValueError("eb_policy='cover' requires ev")
+        # Segment maxima via a masked max (EXP_ZERO sentinel is very negative).
+        maxima = np.full(nseg, np.iinfo(np.int32).min, dtype=np.int64)
+        np.maximum.at(maxima, seg_ids, exp.astype(np.int64))
+        bases = maxima - ((1 << (ev - 1)) - 1 if ev > 0 else 0)
+        return np.where(counts > 0, bases, 0).astype(np.int32)
+    if eb_policy != "mean":
+        raise ValueError(f"eb_policy must be 'cover' or 'mean', got {eb_policy!r}")
+    sums = np.bincount(seg_ids, weights=np.where(nonzero, exp, 0).astype(np.float64),
+                       minlength=nseg)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+    return np.floor(means + 0.5).astype(np.int32)
+
+
+def quantize_vector(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantise a vector segment-wise through the DAC path (vector converter).
+
+    Hardware semantics (Section V-B): each vector element drives the wordlines
+    as a **(2^ev + fv + 1)-bit fixed-point word** ("a total number of
+    (2^ev + fv + 1) bits are applied to the driver") aligned to the segment's
+    exponent base — the ``2^ev`` positions align the exponent and the ``fv+1``
+    mantissa bits extend below.  So the representable grid of a segment whose
+    largest exponent is ``top`` has unit-in-last-place
+    ``2^(top - (2^ev - 1) - fv)``; elements keep fraction bits progressively
+    as they shrink and underflow to zero only ``2^ev - 1 + fv`` binades below
+    the top.  (This is *not* the same as storing the vector in 1+ev+fv bits —
+    vectors are produced by the FP64 MAC units each iteration and converted
+    on the fly, never stored in ReFloat format.)
+
+    Returns
+    -------
+    xq : ndarray of float64
+        Quantised vector, same length as ``x``.  Exact zeros stay zero.
+    ebv : ndarray of int32
+        Per-segment exponent bases (length ``ceil(n / 2^b)``) — the scale
+        factor the engine multiplies back into the output (Eq. 9).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return x.copy(), np.zeros(0, dtype=np.int32)
+    ebv = vector_segment_bases(x, spec.b, ev=spec.ev, eb_policy="cover")
+    size = 1 << spec.b
+    nseg = ebv.size
+    # Segment top exponent = ebv + hi under the cover policy.
+    _, hi = offset_bounds(spec.ev)
+    tops = ebv.astype(np.int64) + hi
+    ulp_exp = tops - ((1 << spec.ev) - 1) - spec.fv
+    seg_ids = np.arange(x.size) >> spec.b
+    # Grids finer than the binary64 normal range are exact: skip them (this
+    # happens for near-lossless configs like ev=11, fv=52).
+    exact_grid = ulp_exp < -1022
+    ulp = np.ldexp(1.0, np.maximum(ulp_exp, -1022))[seg_ids]
+    # Mask empty segments (base 0 would otherwise impose a spurious grid).
+    _, exp, _ = ieee.decompose(x)
+    nonzero = exp != ieee.EXP_ZERO
+    counts = np.bincount(seg_ids, weights=nonzero.astype(np.float64), minlength=nseg)
+    live = (counts[seg_ids] > 0) & ~exact_grid[seg_ids]
+    scaled = np.where(live, x / ulp, 0.0)
+    if spec.rounding == "nearest":
+        quantized = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+    else:
+        quantized = np.trunc(scaled)
+    passthrough = exact_grid[seg_ids] & (counts[seg_ids] > 0)
+    xq = np.where(live, quantized * ulp, np.where(passthrough, x, 0.0))
+    return xq, ebv
+
+
+def quantize_vector_storage(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantise a vector into the *storage* codec: (1 + ev + fv) bits/element.
+
+    Unlike :func:`quantize_vector` (the DAC path), this forces each element
+    into the per-element floating layout — sign, ev-bit offset, fv-bit
+    fraction — the representation used when a vector segment must be *kept*
+    in ReFloat form (e.g. buffering partial vectors off-engine).  Elements
+    below the offset window follow ``spec.underflow``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    ebv = vector_segment_bases(x, spec.b, ev=spec.ev, eb_policy=spec.eb_policy)
+    per_elem_eb = np.repeat(ebv, 1 << spec.b)[: x.size]
+    xq, _ = quantize_values(x, spec.ev, spec.fv, eb=per_elem_eb,
+                            rounding=spec.rounding, underflow=spec.underflow)
+    return xq, ebv

@@ -1,0 +1,46 @@
+"""ReRAM accelerator substrate: crossbars, engines, timing, GPU baseline."""
+
+from repro.hardware.accelerator import (
+    AcceleratorConfig,
+    MappingPlan,
+    SolverTimingModel,
+)
+from repro.hardware.adc import ADCConfig, SARADC
+from repro.hardware.cost import (
+    FEINBERG_CROSSBARS_PER_ENGINE,
+    FEINBERG_CYCLES,
+    crossbars_for_spec,
+    crossbars_per_engine,
+    cycles_for_spec,
+    cycles_per_block_mvm,
+    fixed_point_mvm_cycles,
+)
+from repro.hardware.crossbar import CrossbarMVM, bit_slice, integer_mvm
+from repro.hardware.energy import EnergyModel
+from repro.hardware.engine import ProcessingEngine, block_mvm_reference
+from repro.hardware.gpu import GPUConfig, GPUSolverModel
+from repro.hardware.noise import RTNModel
+
+__all__ = [
+    "AcceleratorConfig",
+    "MappingPlan",
+    "SolverTimingModel",
+    "ADCConfig",
+    "SARADC",
+    "FEINBERG_CROSSBARS_PER_ENGINE",
+    "FEINBERG_CYCLES",
+    "crossbars_for_spec",
+    "crossbars_per_engine",
+    "cycles_for_spec",
+    "cycles_per_block_mvm",
+    "fixed_point_mvm_cycles",
+    "CrossbarMVM",
+    "bit_slice",
+    "integer_mvm",
+    "EnergyModel",
+    "ProcessingEngine",
+    "block_mvm_reference",
+    "GPUConfig",
+    "GPUSolverModel",
+    "RTNModel",
+]

@@ -1,0 +1,162 @@
+"""Accelerator organisation and timing model (Table IV, Section VI-B).
+
+Both accelerators have the same 17.1 Gb of compute ReRAM (1,048,576 crossbars
+of 128x128 1-bit cells); they differ in how many crossbars one block engine
+consumes (Eq. 2 / the [32] mapping) and how many cycles one block MVM takes
+(Eq. 3).  The performance mechanics the paper describes:
+
+* engines available = total crossbars // crossbars per engine
+  (Feinberg: 1048576 // 472 = 2221; ReFloat(7,3,3): 1048576 // 48 = 21845);
+* a whole-matrix SpMV needs one engine per occupied block; if that exceeds
+  the available engines the SpMV runs in ``rounds = ceil(needed/available)``
+  passes, each paying a full cell rewrite (the "cell writing and cluster
+  invoking" overhead that makes Feinberg *slower than the GPU* on the big
+  scattered matrices);
+* when the matrix fits, it is written once per solve and every SpMV costs
+  just the pipelined block-MVM latency (blocks run in parallel, block-column
+  partial sums are reduced by the MAC units, modelled as pipelined).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.formats.refloat import ReFloatSpec
+from repro.hardware.cost import (
+    FEINBERG_CROSSBARS_PER_ENGINE,
+    FEINBERG_CYCLES,
+    crossbars_for_spec,
+    cycles_for_spec,
+)
+
+__all__ = ["AcceleratorConfig", "MappingPlan", "SolverTimingModel"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Physical organisation and latency constants (Table IV)."""
+
+    name: str = "ReFloat"
+    banks: int = 128
+    units_per_bank: int = 128          # subbanks (ReFloat) or clusters (Feinberg)
+    crossbars_per_unit: int = 64
+    crossbar_rows: int = 128
+    cell_bits: int = 1
+    compute_latency_s: float = 107e-9  # one crossbar read incl. ADC ([32])
+    write_latency_s: float = 50.88e-9  # one row write, SLC [74]
+    mac_throughput_ops_s: float = 1.6384e13  # 128 banks x 128 lanes @ 1 GHz
+
+    @property
+    def total_crossbars(self) -> int:
+        return self.banks * self.units_per_bank * self.crossbars_per_unit
+
+    @property
+    def compute_bits(self) -> int:
+        """Total ReRAM compute bits (Table IV: 17.1 Gb for both designs)."""
+        return self.total_crossbars * self.crossbar_rows ** 2 * self.cell_bits
+
+    @property
+    def block_write_time_s(self) -> float:
+        """Writing one crossbar (rows serial, crossbars of a unit parallel)."""
+        return self.crossbar_rows * self.write_latency_s
+
+    @classmethod
+    def refloat_default(cls) -> "AcceleratorConfig":
+        return cls()
+
+    @classmethod
+    def feinberg_default(cls) -> "AcceleratorConfig":
+        return cls(name="Feinberg", units_per_bank=64, crossbars_per_unit=128)
+
+
+@dataclass(frozen=True)
+class MappingPlan:
+    """How one matrix maps onto an accelerator for SpMV."""
+
+    blocks_needed: int
+    crossbars_per_engine: int
+    engines_available: int
+    cycles_per_mvm: int
+    config: AcceleratorConfig
+
+    @property
+    def rounds(self) -> int:
+        """Mapping passes per SpMV (1 = matrix resident)."""
+        if self.blocks_needed == 0:
+            return 1
+        return math.ceil(self.blocks_needed / self.engines_available)
+
+    @property
+    def resident(self) -> bool:
+        return self.rounds == 1
+
+    @property
+    def mvm_time_s(self) -> float:
+        """Latency of the pipelined block MVMs of one pass."""
+        return self.cycles_per_mvm * self.config.compute_latency_s
+
+    @property
+    def spmv_time_s(self) -> float:
+        """One whole-matrix SpMV.
+
+        Resident: one pipelined pass.  Multi-round: every round re-writes the
+        engines' cells (row-serial) and then computes.
+        """
+        if self.resident:
+            return self.mvm_time_s
+        return self.rounds * (self.config.block_write_time_s + self.mvm_time_s)
+
+    @property
+    def setup_time_s(self) -> float:
+        """One-time matrix mapping cost (only charged when resident;
+        multi-round mappings pay writes inside every SpMV instead)."""
+        return self.config.block_write_time_s if self.resident else 0.0
+
+    @classmethod
+    def for_refloat(cls, n_blocks: int, spec: ReFloatSpec,
+                    config: Optional[AcceleratorConfig] = None) -> "MappingPlan":
+        config = config or AcceleratorConfig.refloat_default()
+        cpe = crossbars_for_spec(spec)
+        return cls(n_blocks, cpe, config.total_crossbars // cpe,
+                   cycles_for_spec(spec), config)
+
+    @classmethod
+    def for_feinberg(cls, n_blocks: int,
+                     config: Optional[AcceleratorConfig] = None) -> "MappingPlan":
+        config = config or AcceleratorConfig.feinberg_default()
+        cpe = FEINBERG_CROSSBARS_PER_ENGINE
+        return cls(n_blocks, cpe, config.total_crossbars // cpe,
+                   FEINBERG_CYCLES, config)
+
+
+@dataclass(frozen=True)
+class SolverTimingModel:
+    """Whole-solve latency on an accelerator.
+
+    ``vector_ops_per_iteration`` counts n-length streaming operations (dots,
+    axpys, the vector converter) executed by the MAC units each iteration.
+    """
+
+    plan: MappingPlan
+    spmvs_per_iteration: int = 1
+    vector_ops_per_iteration: int = 6
+
+    def vector_time_s(self, n_rows: int) -> float:
+        return (self.vector_ops_per_iteration * n_rows
+                / self.plan.config.mac_throughput_ops_s)
+
+    def iteration_time_s(self, n_rows: int) -> float:
+        return (self.spmvs_per_iteration * self.plan.spmv_time_s
+                + self.vector_time_s(n_rows))
+
+    def solve_time_s(self, iterations: int, n_rows: int,
+                     include_setup: bool = True) -> float:
+        """Whole-solve time.  ``include_setup=False`` drops the one-time
+        matrix write — the steady-state accounting the paper's speedups use
+        (matters only for solves of a handful of iterations, e.g. gridgena)."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        setup = self.plan.setup_time_s if include_setup else 0.0
+        return setup + iterations * self.iteration_time_s(n_rows)

@@ -1,0 +1,65 @@
+"""ADC model (the 10-bit 1.5 GS/s pipelined SAR ADC of Table IV, [60]).
+
+With 1-bit DACs and 1-bit cells, a bitline of a ``2^b``-row crossbar
+accumulates an integer in ``[0, 2^b]``; digitising it exactly needs ``b + 1``
+bits (the paper states the conversion precision as ``fx = b``, which covers
+``[0, 2^b - 1]`` — the all-rows-active full-scale code saturates; we expose
+both behaviours).  The 10-bit ADC of Table IV digitises 128-row bitlines
+(8 bits needed) with headroom, so the evaluation configuration is lossless —
+asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ADCConfig", "SARADC"]
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    bits: int = 10
+    sample_rate_s: float = 1.5e9
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 24:
+            raise ValueError(f"bits must be in [1, 24], got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def conversion_time_s(self) -> float:
+        return 1.0 / self.sample_rate_s
+
+
+class SARADC:
+    """Quantise bitline accumulation counts.
+
+    ``full_scale`` is the largest representable count; larger inputs
+    saturate.  For the Table IV configuration (10 bits, 128-row crossbars)
+    conversion is exact.
+    """
+
+    def __init__(self, config: ADCConfig = ADCConfig(), full_scale: int = None):
+        self.config = config
+        self.full_scale = (config.levels - 1) if full_scale is None else int(full_scale)
+        if self.full_scale < 1:
+            raise ValueError("full_scale must be >= 1")
+
+    def convert(self, counts: np.ndarray) -> np.ndarray:
+        """Digitise integer bitline counts (exact below full scale)."""
+        counts = np.asarray(counts)
+        if np.any(counts < 0):
+            raise ValueError("bitline counts are non-negative")
+        step = max(1, -(-self.full_scale // (self.config.levels - 1)))
+        quantised = (np.minimum(counts, self.full_scale) // step) * step
+        return quantised
+
+    def is_lossless_for_rows(self, rows: int) -> bool:
+        """True when every possible count of a ``rows``-row bitline converts
+        exactly (needs levels > rows and unit step)."""
+        return self.full_scale >= rows and self.config.levels - 1 >= self.full_scale

@@ -1,0 +1,46 @@
+"""Per-component energy accounting (extension — the paper reports time only).
+
+Energy constants follow the sources the paper's platform table cites:
+ISAAC-class ADC/crossbar numbers and SLC write energy.  The model exposes the
+same decomposition as the timing model (reads per SpMV, writes per round) so
+ablations can weigh bit-budget choices by energy as well as latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import MappingPlan
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy per primitive operation (rough ISAAC-class constants)."""
+
+    adc_conversion_J: float = 2e-12     # ~2 pJ per 10-bit conversion
+    crossbar_read_J: float = 1e-12      # one 128x128 analog MVM cycle
+    cell_write_J: float = 1e-11         # one row write
+    mac_op_J: float = 2e-11             # one FP64 MAC
+
+    def spmv_energy_J(self, plan: MappingPlan) -> float:
+        """Energy of one whole-matrix SpMV under a mapping plan."""
+        reads = (plan.blocks_needed * plan.cycles_per_mvm)
+        adc = reads  # one conversion per crossbar read cycle per engine
+        energy = reads * self.crossbar_read_J + adc * self.adc_conversion_J
+        if not plan.resident:
+            writes = plan.rounds * plan.config.crossbar_rows * plan.crossbars_per_engine
+            energy += writes * self.cell_write_J
+        return energy
+
+    def solve_energy_J(self, plan: MappingPlan, iterations: int,
+                       spmvs_per_iteration: int, n_rows: int,
+                       vector_ops_per_iteration: int = 6) -> float:
+        per_iter = (spmvs_per_iteration * self.spmv_energy_J(plan)
+                    + vector_ops_per_iteration * n_rows * self.mac_op_J)
+        setup = 0.0
+        if plan.resident:
+            setup = (plan.blocks_needed * plan.config.crossbar_rows
+                     * plan.crossbars_per_engine * self.cell_write_J)
+        return setup + iterations * per_iter

@@ -1,0 +1,57 @@
+"""ReRAM device-noise models (Section VI-D).
+
+Random telegraph noise (RTN) is the dominant read-noise mechanism in
+metal-oxide ReRAM cells [17]; accelerator studies ([3], [32], [47]) model it
+as a zero-mean multiplicative deviation of each cell's conductance.  We
+follow that convention: each stored value's effective conductance is
+``g * (1 + delta)`` with ``delta ~ N(0, sigma^2)`` redrawn at every analog
+read (no error correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, default_rng
+from repro.util.validation import check_in_range
+
+__all__ = ["RTNModel"]
+
+
+@dataclass
+class RTNModel:
+    """Random-telegraph-noise generator.
+
+    Parameters
+    ----------
+    sigma : float
+        Relative conductance deviation (the paper sweeps 0.001 .. 0.25).
+    clip : float
+        Deviations are clipped to ``[-clip, +clip]`` sigmas to keep
+        conductances physical (a cell cannot go negative); 4-sigma clipping
+        changes moments negligibly for the swept range.
+    """
+
+    sigma: float
+    clip: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.sigma, "sigma", 0.0, 1.0)
+        if self.clip <= 0:
+            raise ValueError("clip must be positive")
+
+    def factors(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        """Multiplicative factors ``1 + delta`` for ``n`` cells."""
+        if self.sigma == 0.0:
+            return np.ones(n)
+        gen = default_rng(rng)
+        delta = gen.standard_normal(n)
+        np.clip(delta, -self.clip, self.clip, out=delta)
+        return 1.0 + self.sigma * delta
+
+    def perturb(self, values: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        """Apply one fresh noise realisation to stored values."""
+        values = np.asarray(values, dtype=np.float64)
+        return values * self.factors(values.size, rng).reshape(values.shape)

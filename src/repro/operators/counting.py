@@ -1,0 +1,43 @@
+"""Instrumentation wrappers around SpMV operators."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.solvers.base import LinearOperator, as_operator
+
+__all__ = ["CountingOperator", "TracingOperator"]
+
+
+class CountingOperator:
+    """Counts matvec applications (feeds the hardware timing model)."""
+
+    def __init__(self, inner):
+        self.inner = as_operator(inner)
+        self.shape = self.inner.shape
+        self.count = 0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        self.count += 1
+        return self.inner.matvec(x)
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class TracingOperator:
+    """Records input/output norms of every apply (quantisation diagnostics)."""
+
+    def __init__(self, inner):
+        self.inner = as_operator(inner)
+        self.shape = self.inner.shape
+        self.input_norms: List[float] = []
+        self.output_norms: List[float] = []
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        y = self.inner.matvec(x)
+        self.input_norms.append(float(np.linalg.norm(x)))
+        self.output_norms.append(float(np.linalg.norm(y)))
+        return y

@@ -1,0 +1,86 @@
+"""SpMV operators modelling Feinberg et al. [32].
+
+Two variants, matching the paper's Figure 8 legend:
+
+* :class:`FeinbergOperator` — the *functional* model with the vector flaw:
+  matrix exact (FPU-assisted), vector pushed through the 64-binade window
+  anchored at the matrix exponent.  Non-convergent on the all-positive mass
+  matrices, like the paper reports.
+* :class:`FeinbergFcOperator` — "Feinberg-fc", the paper's strong baseline
+  that *assumes* functional correctness: numerically identical to FP64 (it
+  exists so the hardware timing model can be charged with FP64 iteration
+  counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.feinberg import (
+    FeinbergSpec,
+    matrix_anchor_exponent,
+    quantize_vector_feinberg,
+)
+
+__all__ = ["FeinbergOperator", "FeinbergFcOperator"]
+
+
+class FeinbergOperator:
+    """[32]'s datapath: exact matrix, window-quantised vector per apply.
+
+    The padding window is anchored at the matrix's maximum entry exponent
+    (``block_b=None``, the default): the crossbar mapping aligns its 64
+    exponent slots against the largest stored value, and the input vector is
+    driven through that window.  Passing ``block_b`` anchors per block-column
+    instead (each column stripe's own max) — a strictly harsher model, kept
+    for ablation.
+    """
+
+    def __init__(self, A, spec: FeinbergSpec = FeinbergSpec(),
+                 block_b: int = None):
+        from repro.formats import ieee
+
+        self.A = sp.csr_matrix(A, dtype=np.float64)
+        self.spec = spec
+        self.block_b = block_b
+        self.shape = self.A.shape
+        self.anchor = matrix_anchor_exponent(self.A.data)  # global fallback
+        n_cols = self.A.shape[1]
+        if block_b is None:
+            self._per_elem_anchor = np.full(n_cols, self.anchor, dtype=np.int64)
+        else:
+            _, exp, _ = ieee.decompose(self.A.data)
+            seg = self.A.indices.astype(np.int64) >> block_b
+            nseg = -(-n_cols // (1 << block_b))
+            anchors = np.full(nseg, np.iinfo(np.int32).min, dtype=np.int64)
+            np.maximum.at(anchors, seg, exp.astype(np.int64))
+            # Columns with no entries: anchor irrelevant, use the global one.
+            anchors = np.where(anchors == np.iinfo(np.int32).min,
+                               self.anchor, anchors)
+            self._per_elem_anchor = np.repeat(anchors, 1 << block_b)[:n_cols]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.A @ self.quantize_input(x)
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        return quantize_vector_feinberg(np.asarray(x, dtype=np.float64),
+                                        self._per_elem_anchor, self.spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FeinbergOperator(exp_bits={self.spec.exp_bits}, "
+                f"policy={self.spec.policy!r}, anchor={self.anchor})")
+
+
+class FeinbergFcOperator:
+    """Feinberg-fc: numerically FP64; exists to carry the [32] timing model."""
+
+    def __init__(self, A):
+        self.A = sp.csr_matrix(A, dtype=np.float64)
+        self.shape = self.A.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.A @ np.asarray(x, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FeinbergFcOperator(shape={self.shape})"

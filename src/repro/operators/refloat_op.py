@@ -1,0 +1,64 @@
+"""The ReFloat SpMV operator (Eq. 9 as a functional platform model).
+
+The matrix is block-partitioned and quantised **once** (matrix values never
+change during the solve); the input vector is quantised **per apply** through
+the vector converter (Fig. 6d) — exactly the accelerator's dataflow.  The
+arithmetic equivalence is Eq. 9: per-block fixed-point MVMs scaled by
+``2^(eb + ebv)`` reproduce the FP64 product of the *quantised* values, so the
+functional model is ``y = ~A @ ~x`` computed in FP64 (the engine's output and
+accumulation precision).  Bit-exactness of this shortcut against the
+crossbar-level datapath is verified in :mod:`repro.hardware.engine` tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.refloat import DEFAULT_SPEC, ReFloatSpec, quantize_vector
+from repro.sparse.blocked import BlockedMatrix
+
+__all__ = ["ReFloatOperator"]
+
+
+class ReFloatOperator:
+    """SpMV in ``ReFloat(b, e, f)(ev, fv)``.
+
+    Parameters
+    ----------
+    A : sparse matrix
+        The FP64 system matrix.
+    spec : ReFloatSpec
+        Bit configuration (paper default ``ReFloat(7,3,3)(3,8)``).
+
+    Attributes
+    ----------
+    A : csr_matrix
+        The quantised matrix ``~A`` (what the crossbars hold).
+    exact : csr_matrix
+        The original FP64 matrix.
+    blocked : BlockedMatrix
+        Block partition with per-block exponent bases.
+    """
+
+    def __init__(self, A, spec: ReFloatSpec = DEFAULT_SPEC):
+        self.spec = spec
+        self.blocked = BlockedMatrix(A, b=spec.b)
+        self.exact = self.blocked.A
+        self.A = self.blocked.quantize(spec)
+        self.shape = self.A.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Quantise the vector segment-wise, multiply by the quantised matrix."""
+        xq, _ = quantize_vector(np.asarray(x, dtype=np.float64), self.spec)
+        return self.A @ xq
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """The vector the crossbars actually see (for diagnostics)."""
+        xq, _ = quantize_vector(np.asarray(x, dtype=np.float64), self.spec)
+        return xq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReFloatOperator({self.spec}, shape={self.shape})"

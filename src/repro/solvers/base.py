@@ -1,0 +1,148 @@
+"""Solver infrastructure: operator protocol, results, convergence control.
+
+The solvers in this package are written against a minimal operator interface
+(``shape`` + ``matvec``) so the same CG/BiCGSTAB code runs in exact FP64, in
+ReFloat, in the Feinberg model, or with noise injection — the quantised
+platform *is* the operator (Code 1 of the paper runs unchanged; only the SpMV
+changes).  All vector arithmetic outside the SpMV is FP64, matching the
+accelerator's double-precision MAC units (Fig. 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "LinearOperator",
+    "MatrixOperator",
+    "SolverResult",
+    "ConvergenceCriterion",
+    "as_operator",
+    "check_system",
+    "quiet_fp_errors",
+]
+
+
+def quiet_fp_errors(fn):
+    """Run a solver under ``np.errstate(all='ignore')``.
+
+    Divergence on the quantised platforms legitimately drives iterates through
+    overflow before the explicit divergence check fires; the solvers detect
+    and report non-finite states themselves, so the global warnings are noise.
+    """
+    import functools
+
+    @functools.wraps(fn)
+    def wrapped(*args, **kwargs):
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore",
+                         under="ignore"):
+            return fn(*args, **kwargs)
+
+    return wrapped
+
+
+@runtime_checkable
+class LinearOperator(Protocol):
+    """Anything with a shape and a matvec (the platform abstraction)."""
+
+    shape: tuple
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - protocol
+        ...
+
+
+class MatrixOperator:
+    """Exact FP64 SpMV backed by a scipy sparse matrix."""
+
+    def __init__(self, A):
+        self.A = sp.csr_matrix(A, dtype=np.float64)
+        self.shape = self.A.shape
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.A @ x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MatrixOperator(shape={self.shape}, nnz={self.A.nnz})"
+
+
+def as_operator(A) -> LinearOperator:
+    """Coerce a sparse matrix / operator-like object to a LinearOperator."""
+    if isinstance(A, LinearOperator) and not sp.issparse(A):
+        return A
+    return MatrixOperator(A)
+
+
+@dataclass
+class SolverResult:
+    """Outcome of an iterative solve.
+
+    Attributes
+    ----------
+    x : ndarray
+        Final iterate.
+    converged : bool
+        Whether the convergence criterion was met.
+    iterations : int
+        Iterations executed (matching the paper's "#ite": one correction per
+        iteration; BiCGSTAB counts one iteration per full two-SpMV step).
+    residual_norm : float
+        Final (recursive) residual 2-norm.
+    residual_history : list of float
+        ``||r||_2`` after every iteration, starting with the initial residual
+        at index 0 — the Fig. 9 trace.
+    breakdown : str or None
+        Set when the solve stopped on a numerical breakdown (division by ~0,
+        non-finite values) rather than convergence/budget exhaustion.
+    matvecs : int
+        Number of operator applications performed.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    residual_history: List[float] = field(default_factory=list)
+    breakdown: Optional[str] = None
+    matvecs: int = 0
+
+    @property
+    def not_converged(self) -> bool:
+        return not self.converged
+
+
+@dataclass(frozen=True)
+class ConvergenceCriterion:
+    """Paper criterion: residual 2-norm below a threshold, or budget hit.
+
+    ``relative=True`` scales the threshold by ``||b||_2`` (scale-invariant;
+    see DESIGN.md).  ``divergence_factor`` declares breakdown once the
+    residual exceeds that multiple of the initial residual — this is how the
+    non-convergent Feinberg runs terminate in bounded time.
+    """
+
+    tol: float = 1e-8
+    max_iterations: int = 20000
+    relative: bool = True
+    divergence_factor: float = 1e12
+
+    def threshold(self, b_norm: float) -> float:
+        return self.tol * b_norm if self.relative else self.tol
+
+
+def check_system(op: LinearOperator, b: np.ndarray) -> np.ndarray:
+    """Validate operator/vector compatibility; return b as float64 array."""
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1:
+        raise ValueError(f"b must be a vector, got shape {b.shape}")
+    m, n = op.shape
+    if m != n:
+        raise ValueError(f"operator must be square, got {op.shape}")
+    if b.size != n:
+        raise ValueError(f"dimension mismatch: operator {op.shape}, b {b.size}")
+    if not np.all(np.isfinite(b)):
+        raise ValueError("b contains non-finite values")
+    return b

@@ -1,0 +1,59 @@
+"""Preconditioners (extension; cf. the analog-preconditioner line of work [34]).
+
+Each factory returns a callable ``z = M^{-1} r`` suitable for the
+``preconditioner`` argument of the Krylov solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["jacobi_preconditioner", "ssor_preconditioner", "ilu_preconditioner"]
+
+
+def _matrix_of(A) -> sp.csr_matrix:
+    if hasattr(A, "A") and sp.issparse(A.A):
+        return sp.csr_matrix(A.A)
+    return sp.csr_matrix(A)
+
+
+def jacobi_preconditioner(A) -> Callable[[np.ndarray], np.ndarray]:
+    """Diagonal scaling ``M = diag(A)``."""
+    diag = _matrix_of(A).diagonal()
+    if np.any(diag == 0):
+        raise ValueError("Jacobi preconditioner requires a nonzero diagonal")
+    inv = 1.0 / diag
+    return lambda r: inv * r
+
+
+def ssor_preconditioner(A, omega: float = 1.0) -> Callable[[np.ndarray], np.ndarray]:
+    """Symmetric SOR: ``M = (D/w + L) (D/w)^{-1} (D/w + U) * w/(2-w)``.
+
+    Valid for SPD matrices and ``0 < omega < 2``.
+    """
+    if not 0 < omega < 2:
+        raise ValueError(f"omega must be in (0, 2), got {omega}")
+    M = _matrix_of(A)
+    D = sp.diags(M.diagonal())
+    L = sp.tril(M, k=-1, format="csr")
+    lower = (D / omega + L).tocsc()
+    upper = (D / omega + L.T).tocsc()
+    dscale = omega / (2.0 - omega) * M.diagonal()
+
+    def apply(r: np.ndarray) -> np.ndarray:
+        y = spla.spsolve_triangular(lower, r, lower=True)
+        y = dscale * y
+        return spla.spsolve_triangular(upper, y, lower=False)
+
+    return apply
+
+
+def ilu_preconditioner(A, **kwargs) -> Callable[[np.ndarray], np.ndarray]:
+    """Incomplete LU via scipy's spilu (drop-tolerance ILU)."""
+    M = _matrix_of(A).tocsc()
+    ilu = spla.spilu(M, **kwargs)
+    return lambda r: ilu.solve(r)

@@ -1,0 +1,87 @@
+"""Stationary iterations (Jacobi, Richardson) — simple baselines.
+
+These are not evaluated in the paper but complete the iterative-solver
+substrate (Code 1 covers them: the correction step is a fixed linear map of
+the residual) and serve as cheap smoke tests for the quantised operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers.base import (
+    ConvergenceCriterion,
+    SolverResult,
+    as_operator,
+    check_system,
+    quiet_fp_errors,
+)
+
+__all__ = ["jacobi", "richardson"]
+
+
+@quiet_fp_errors
+def _run_stationary(op, b, correction, crit, x0) -> SolverResult:
+    b = check_system(op, b)
+    n = b.size
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return SolverResult(x=np.zeros(n), converged=True, iterations=0,
+                            residual_norm=0.0, residual_history=[0.0])
+    threshold = crit.threshold(b_norm)
+    matvecs = 0
+    r = b - op.matvec(x) if np.any(x) else b.copy()
+    if np.any(x):
+        matvecs += 1
+    r_norm = float(np.linalg.norm(r))
+    history = [r_norm]
+    for k in range(1, crit.max_iterations + 1):
+        if r_norm < threshold:
+            return SolverResult(x=x, converged=True, iterations=k - 1,
+                                residual_norm=r_norm, residual_history=history,
+                                matvecs=matvecs)
+        x = x + correction(r)
+        r = b - op.matvec(x)
+        matvecs += 1
+        r_norm = float(np.linalg.norm(r))
+        history.append(r_norm)
+        if not np.isfinite(r_norm) or r_norm > crit.divergence_factor * history[0]:
+            return SolverResult(x=x, converged=False, iterations=k,
+                                residual_norm=r_norm, residual_history=history,
+                                breakdown="divergence", matvecs=matvecs)
+    return SolverResult(x=x, converged=r_norm < threshold,
+                        iterations=crit.max_iterations, residual_norm=r_norm,
+                        residual_history=history, matvecs=matvecs)
+
+
+def jacobi(A, b, x0: Optional[np.ndarray] = None,
+           criterion: Optional[ConvergenceCriterion] = None,
+           damping: float = 1.0) -> SolverResult:
+    """Damped Jacobi iteration ``x += damping * D^{-1} r``.
+
+    Requires direct access to the matrix diagonal, so ``A`` must be a sparse
+    matrix (or expose ``.A`` like the quantised operators do).
+    """
+    matrix = A.A if hasattr(A, "A") and sp.issparse(A.A) else A
+    diag = sp.csr_matrix(matrix).diagonal()
+    if np.any(diag == 0):
+        raise ValueError("Jacobi requires a nonzero diagonal")
+    inv_diag = damping / diag
+    op = as_operator(A)
+    crit = criterion or ConvergenceCriterion(max_iterations=5000)
+    return _run_stationary(op, b, lambda r: inv_diag * r, crit, x0)
+
+
+def richardson(A, b, omega: float, x0: Optional[np.ndarray] = None,
+               criterion: Optional[ConvergenceCriterion] = None) -> SolverResult:
+    """Richardson iteration ``x += omega * r`` (converges for
+    0 < omega < 2 / lambda_max on SPD systems)."""
+    if omega <= 0:
+        raise ValueError(f"omega must be positive, got {omega}")
+    op = as_operator(A)
+    crit = criterion or ConvergenceCriterion(max_iterations=5000)
+    return _run_stationary(op, b, lambda r: omega * r, crit, x0)

@@ -1,0 +1,33 @@
+"""Sparse-matrix substrate: blocking, layouts, Matrix Market I/O, gallery."""
+
+from repro.sparse.blocked import BlockedMatrix, block_coordinates
+from repro.sparse.layout import (
+    block_major_order,
+    layout_report,
+    row_major_order,
+    streaming_run_lengths,
+)
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+from repro.sparse.stats import (
+    condition_number,
+    extreme_eigenvalues,
+    is_symmetric,
+    nnz_per_row,
+    summarize,
+)
+
+__all__ = [
+    "BlockedMatrix",
+    "block_coordinates",
+    "block_major_order",
+    "layout_report",
+    "row_major_order",
+    "streaming_run_lengths",
+    "read_matrix_market",
+    "write_matrix_market",
+    "condition_number",
+    "extreme_eigenvalues",
+    "is_symmetric",
+    "nnz_per_row",
+    "summarize",
+]

@@ -1,0 +1,245 @@
+"""Block partitioning of sparse matrices (the granularity of ReRAM compute).
+
+A :class:`BlockedMatrix` partitions a CSR matrix into ``2^b x 2^b`` square
+blocks — the unit mapped onto one crossbar cluster — and precomputes, fully
+vectorised:
+
+* the (block-row, block-col) coordinate of every nonzero,
+* the set of occupied blocks and their nonzero counts,
+* the per-block optimal ReFloat exponent base ``eb`` (Eq. 5) and the exact
+  per-block exponent spread (the "locality" of Fig. 3d).
+
+From that it can materialise the ReFloat-quantised matrix as a plain CSR with
+the same sparsity pattern (functionally what the crossbars compute, see Eq. 9)
+and report storage/occupancy statistics used by the accelerator mapping and
+the Table VIII memory accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats import ieee
+from repro.formats.refloat import ReFloatSpec, offset_bounds, quantize_values
+from repro.util.validation import check_nonnegative_int
+
+__all__ = ["BlockedMatrix", "block_coordinates"]
+
+
+def block_coordinates(A: sp.csr_matrix, b: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-nonzero (block-row, block-col) coordinates of a CSR matrix."""
+    A = sp.csr_matrix(A)
+    rows = np.repeat(np.arange(A.shape[0], dtype=np.int64), np.diff(A.indptr))
+    cols = A.indices.astype(np.int64)
+    return rows >> b, cols >> b
+
+
+class BlockedMatrix:
+    """A sparse matrix partitioned into ``2^b x 2^b`` blocks.
+
+    Parameters
+    ----------
+    A : scipy sparse matrix
+        Converted to canonical CSR (duplicates summed, indices sorted).
+        Explicit zeros are eliminated — they would otherwise occupy crossbar
+        cells and distort exponent statistics.
+    b : int
+        log2 of the block edge (paper: 7, i.e. 128x128 crossbars).
+    """
+
+    def __init__(self, A, b: int = 7):
+        b = check_nonnegative_int(b, "b")
+        if b > 12:
+            raise ValueError(f"b must be <= 12, got {b}")
+        A = sp.csr_matrix(A, dtype=np.float64, copy=True)
+        A.sum_duplicates()
+        A.eliminate_zeros()
+        A.sort_indices()
+        if not np.all(np.isfinite(A.data)):
+            raise ValueError("matrix contains non-finite values")
+        self.A = A
+        self.b = b
+        n_rows, n_cols = A.shape
+        self.block_grid = (-(-n_rows // (1 << b)), -(-n_cols // (1 << b)))
+
+        bi, bj = block_coordinates(A, b)
+        key = bi * self.block_grid[1] + bj
+        #: Stable permutation of nonzeros into block-grouped order.
+        self.order = np.argsort(key, kind="stable")
+        sorted_key = key[self.order]
+        if sorted_key.size:
+            boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
+            self.group_starts = np.concatenate(([0], boundaries))
+            self.block_keys = sorted_key[self.group_starts]
+            self.block_nnz = np.diff(np.concatenate((self.group_starts, [sorted_key.size])))
+        else:
+            self.group_starts = np.zeros(0, dtype=np.int64)
+            self.block_keys = np.zeros(0, dtype=np.int64)
+            self.block_nnz = np.zeros(0, dtype=np.int64)
+        self._nnz_key = key  # per-nonzero block key, in CSR order
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.A.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.A.nnz)
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.b
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of occupied (nonzero) blocks = crossbar clusters required."""
+        return int(self.block_keys.size)
+
+    def block_coords(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(block-row, block-col) arrays of the occupied blocks."""
+        nbc = self.block_grid[1]
+        return self.block_keys // nbc, self.block_keys % nbc
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _exponents(self) -> np.ndarray:
+        _, exp, _ = ieee.decompose(self.A.data)
+        return exp
+
+    @cached_property
+    def block_eb(self) -> np.ndarray:
+        """Per-block Eq. 5 exponent base (round of mean), block-grouped order."""
+        exps = self._exponents[self.order].astype(np.float64)
+        if exps.size == 0:
+            return np.zeros(0, dtype=np.int32)
+        sums = np.add.reduceat(exps, self.group_starts)
+        means = sums / self.block_nnz
+        return np.floor(means + 0.5).astype(np.int32)
+
+    def exponent_bases(self, e: int, policy: str = "cover") -> np.ndarray:
+        """Per-block exponent base under a policy (see ``ReFloatSpec.eb_policy``)."""
+        if policy == "mean":
+            return self.block_eb
+        if policy != "cover":
+            raise ValueError(f"policy must be 'cover' or 'mean', got {policy!r}")
+        exps = self._exponents[self.order]
+        if exps.size == 0:
+            return np.zeros(0, dtype=np.int32)
+        mx = np.maximum.reduceat(exps, self.group_starts).astype(np.int64)
+        hi = (1 << (e - 1)) - 1 if e > 0 else 0
+        return (mx - hi).astype(np.int32)
+
+    @cached_property
+    def block_exponent_range(self) -> np.ndarray:
+        """Per-block (max - min) exponent spread, block-grouped order."""
+        exps = self._exponents[self.order]
+        if exps.size == 0:
+            return np.zeros(0, dtype=np.int32)
+        mx = np.maximum.reduceat(exps, self.group_starts)
+        mn = np.minimum.reduceat(exps, self.group_starts)
+        return (mx - mn).astype(np.int32)
+
+    def per_nnz_eb(self, e: int = 3, policy: str = "cover") -> np.ndarray:
+        """Exponent base of each nonzero's block, in CSR nonzero order."""
+        expanded = np.repeat(self.exponent_bases(e, policy), self.block_nnz)
+        out = np.empty(self.nnz, dtype=np.int32)
+        out[self.order] = expanded
+        return out
+
+    def locality_bits(self) -> int:
+        """Fig. 3d "locality": offset bits covering every block's exponent range.
+
+        A block whose exponents span ``range = max - min`` binades is covered
+        exactly by an ``e``-bit offset window when ``range <= 2^e - 1``; the
+        matrix locality is the smallest such ``e`` over all blocks (>= 1).
+        The paper's suite measures at most 7 binades per block, i.e. locality
+        <= 3 — which is why ``e = 3`` loses nothing on exponents.
+        """
+        if self.nnz == 0:
+            return 1
+        max_range = int(self.block_exponent_range.max())
+        e = 1
+        while ((1 << e) - 1) < max_range:
+            e += 1
+        return e
+
+    def matrix_exponent_bits(self) -> int:
+        """Bits to cover the whole-matrix exponent span (the FP64 bar of Fig. 3d
+        is 11; real matrices typically need fewer but we report the exact need)."""
+        if self.nnz == 0:
+            return 1
+        exps = self._exponents
+        span = int(exps.max()) - int(exps.min())
+        bits = 1
+        while ((1 << bits) - 1) < span:
+            bits += 1
+        return bits
+
+    # ------------------------------------------------------------------
+    def quantize(self, spec: ReFloatSpec) -> sp.csr_matrix:
+        """Materialise the ReFloat-quantised matrix (same sparsity, new values).
+
+        Functionally this *is* what the accelerator computes: by Eq. 9 the
+        block MVMs with shared bases reproduce ``~A x`` where ``~A`` holds the
+        per-block quantised values.  Symmetric inputs stay symmetric because
+        blocks (i, j) and (j, i) see identical value multisets.
+        """
+        if spec.b != self.b:
+            raise ValueError(
+                f"spec block size 2^{spec.b} does not match partition 2^{self.b}"
+            )
+        qdata, _ = quantize_values(
+            self.A.data, spec.e, spec.f,
+            eb=self.per_nnz_eb(spec.e, spec.eb_policy),
+            rounding=spec.rounding, underflow=spec.underflow,
+        )
+        Q = sp.csr_matrix((qdata, self.A.indices.copy(), self.A.indptr.copy()),
+                          shape=self.A.shape)
+        return Q
+
+    def quantization_error(self, spec: ReFloatSpec) -> dict:
+        """Elementwise relative-error statistics of :meth:`quantize`."""
+        Q = self.quantize(spec)
+        rel = np.abs(Q.data - self.A.data) / np.abs(self.A.data)
+        return {
+            "max_rel": float(rel.max()) if rel.size else 0.0,
+            "mean_rel": float(rel.mean()) if rel.size else 0.0,
+            "frobenius_rel": float(
+                np.linalg.norm(Q.data - self.A.data) / np.linalg.norm(self.A.data)
+            ) if rel.size else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def storage_bits_refloat(self, spec: ReFloatSpec) -> int:
+        """Total bits to store the matrix in ReFloat format (Sec. IV-A accounting).
+
+        Per nonzero: 2 in-block index fields of ``b`` bits each plus the
+        ``1 + e + f`` value bits.  Per occupied block: two ``(32 - b)``-bit
+        block indices plus the 11-bit exponent base.
+        """
+        if spec.b != self.b:
+            raise ValueError("spec.b must match the partition b")
+        per_nnz = 2 * self.b + spec.matrix_value_bits
+        per_block = 2 * (32 - self.b) + 11
+        return int(self.nnz * per_nnz + self.n_blocks * per_block)
+
+    def storage_bits_double(self) -> int:
+        """Bits for the COO double-precision baseline: 32+32 index + 64 value."""
+        return int(self.nnz * (32 + 32 + 64))
+
+    def occupancy_stats(self) -> dict:
+        """Block-occupancy summary (drives the accelerator mapping rounds)."""
+        if self.n_blocks == 0:
+            return {"n_blocks": 0, "mean_nnz": 0.0, "max_nnz": 0, "density": 0.0}
+        return {
+            "n_blocks": self.n_blocks,
+            "mean_nnz": float(self.block_nnz.mean()),
+            "max_nnz": int(self.block_nnz.max()),
+            "density": float(self.block_nnz.mean()) / (self.block_size ** 2),
+        }

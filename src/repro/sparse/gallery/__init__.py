@@ -1,0 +1,73 @@
+"""Synthetic SPD matrix gallery standing in for the SuiteSparse evaluation set."""
+
+from repro.sparse.gallery.fem import (
+    assemble,
+    element_mass,
+    element_stiffness,
+    shape_q1_hex,
+    shape_q1_quad,
+    shape_serendipity_quad,
+)
+from repro.sparse.gallery.generators import (
+    hex_mass_matrix,
+    minimal_surface_2d,
+    positive_stencil_3d,
+    scatter_permute,
+    shifted_laplacian_2d,
+    shifted_laplacian_3d,
+    smooth_lognormal_field,
+    triangle_coupling_matrix,
+    variable_coefficient_stiffness_2d,
+)
+from repro.sparse.gallery.laplacian import (
+    anisotropic_periodic_2d,
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+)
+from repro.sparse.gallery.meshes import (
+    hex_grid,
+    quad_grid,
+    serendipity_grid,
+    triangle_dual_adjacency,
+)
+from repro.sparse.gallery.suite import (
+    MatrixSpec,
+    PAPER_SUITE,
+    build_matrix,
+    resolve_scale,
+    suite_ids,
+)
+from repro.sparse.gallery.wathen import wathen
+
+__all__ = [
+    "assemble",
+    "element_mass",
+    "element_stiffness",
+    "shape_q1_hex",
+    "shape_q1_quad",
+    "shape_serendipity_quad",
+    "hex_mass_matrix",
+    "minimal_surface_2d",
+    "positive_stencil_3d",
+    "scatter_permute",
+    "shifted_laplacian_2d",
+    "shifted_laplacian_3d",
+    "smooth_lognormal_field",
+    "triangle_coupling_matrix",
+    "variable_coefficient_stiffness_2d",
+    "anisotropic_periodic_2d",
+    "laplacian_1d",
+    "laplacian_2d",
+    "laplacian_3d",
+    "hex_grid",
+    "quad_grid",
+    "serendipity_grid",
+    "triangle_dual_adjacency",
+    "MatrixSpec",
+    "PAPER_SUITE",
+    "build_matrix",
+    "resolve_scale",
+    "suite_ids",
+    "wathen",
+]

@@ -1,0 +1,199 @@
+"""Finite-element local matrices and global assembly, from scratch.
+
+Element matrices are computed by Gauss–Legendre quadrature over reference
+elements with the standard isoparametric shape functions:
+
+* 4-node bilinear quad (Q1),
+* 8-node trilinear hexahedron (Q1),
+* 8-node serendipity quad (quadratic without the centre node — the Wathen
+  element; its consistent mass matrix has *negative* entries, which matters
+  for the Feinberg convergence behaviour).
+
+Assembly is fully vectorised: per-element coefficient times the shared local
+matrix scattered into COO triplets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "shape_q1_quad",
+    "shape_q1_hex",
+    "shape_serendipity_quad",
+    "element_mass",
+    "element_stiffness",
+    "assemble",
+]
+
+
+def shape_q1_quad(xi: np.ndarray, eta: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Bilinear shape functions and gradients on [-1,1]^2.
+
+    Returns ``(N, dN)`` with ``N`` of shape ``(npts, 4)`` and ``dN`` of shape
+    ``(npts, 2, 4)`` (derivative axis first: d/dxi, d/deta).
+    Node order: (-1,-1), (1,-1), (1,1), (-1,1).
+    """
+    sx = np.array([-1.0, 1.0, 1.0, -1.0])
+    sy = np.array([-1.0, -1.0, 1.0, 1.0])
+    xi = np.asarray(xi)[:, None]
+    eta = np.asarray(eta)[:, None]
+    N = 0.25 * (1 + sx * xi) * (1 + sy * eta)
+    dN = np.stack([
+        0.25 * sx * (1 + sy * eta) * np.ones_like(xi),
+        0.25 * sy * (1 + sx * xi) * np.ones_like(eta),
+    ], axis=1)
+    return N, dN
+
+
+def shape_q1_hex(xi, eta, zeta) -> Tuple[np.ndarray, np.ndarray]:
+    """Trilinear shape functions/gradients on [-1,1]^3 (8 nodes).
+
+    Node order matches :func:`repro.sparse.gallery.meshes.hex_grid`:
+    bottom face CCW then top face CCW.
+    """
+    sx = np.array([-1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0])
+    sy = np.array([-1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0])
+    sz = np.array([-1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0])
+    xi = np.asarray(xi)[:, None]
+    eta = np.asarray(eta)[:, None]
+    zeta = np.asarray(zeta)[:, None]
+    N = 0.125 * (1 + sx * xi) * (1 + sy * eta) * (1 + sz * zeta)
+    dN = np.stack([
+        0.125 * sx * (1 + sy * eta) * (1 + sz * zeta),
+        0.125 * sy * (1 + sx * xi) * (1 + sz * zeta),
+        0.125 * sz * (1 + sx * xi) * (1 + sy * eta),
+    ], axis=1)
+    return N, dN
+
+
+def shape_serendipity_quad(xi, eta) -> Tuple[np.ndarray, np.ndarray]:
+    """8-node serendipity shape functions/gradients on [-1,1]^2.
+
+    Node order: corners (-1,-1), (0,-1) midside, (1,-1), (1,0) midside,
+    (1,1), (0,1) midside, (-1,1), (-1,0) midside — matching
+    :func:`repro.sparse.gallery.meshes.serendipity_grid`.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    eta = np.asarray(eta, dtype=np.float64)
+    x, y = xi[:, None], eta[:, None]
+    one = np.ones_like(x)
+
+    # Corner nodes: N = 1/4 (1+sx x)(1+sy y)(sx x + sy y - 1)
+    # Midside nodes on y = +-1: N = 1/2 (1-x^2)(1+sy y)
+    # Midside nodes on x = +-1: N = 1/2 (1+sx x)(1-y^2)
+    def corner(sx, sy):
+        n = 0.25 * (1 + sx * x) * (1 + sy * y) * (sx * x + sy * y - 1)
+        dx = 0.25 * sx * (1 + sy * y) * (2 * sx * x + sy * y)
+        dy = 0.25 * sy * (1 + sx * x) * (sx * x + 2 * sy * y)
+        return n, dx, dy
+
+    def mid_h(sy):  # midside on horizontal edge y = sy
+        n = 0.5 * (1 - x * x) * (1 + sy * y)
+        dx = -x * (1 + sy * y)
+        dy = 0.5 * sy * (1 - x * x) * one
+        return n, dx, dy
+
+    def mid_v(sx):  # midside on vertical edge x = sx
+        n = 0.5 * (1 + sx * x) * (1 - y * y)
+        dx = 0.5 * sx * (1 - y * y) * one
+        dy = -(1 + sx * x) * y
+        return n, dx, dy
+
+    nodes = [corner(-1, -1), mid_h(-1), corner(1, -1), mid_v(1),
+             corner(1, 1), mid_h(1), corner(-1, 1), mid_v(-1)]
+    N = np.concatenate([n for n, _, _ in nodes], axis=1)
+    dNx = np.concatenate([dx for _, dx, _ in nodes], axis=1)
+    dNy = np.concatenate([dy for _, _, dy in nodes], axis=1)
+    dN = np.stack([dNx, dNy], axis=1)
+    return N, dN
+
+
+@lru_cache(maxsize=32)
+def _gauss_points(dim: int, order: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Tensor-product Gauss-Legendre points/weights on [-1,1]^dim."""
+    pts, wts = np.polynomial.legendre.leggauss(order)
+    grids = np.meshgrid(*([pts] * dim), indexing="ij")
+    coords = np.stack([g.ravel() for g in grids], axis=1)
+    wgrids = np.meshgrid(*([wts] * dim), indexing="ij")
+    weights = np.prod(np.stack([w.ravel() for w in wgrids], axis=1), axis=1)
+    return coords, weights
+
+
+_SHAPES = {
+    "q1_quad": (shape_q1_quad, 2),
+    "q1_hex": (shape_q1_hex, 3),
+    "serendipity_quad": (shape_serendipity_quad, 2),
+}
+
+
+@lru_cache(maxsize=32)
+def element_mass(element: str, order: int = 4) -> np.ndarray:
+    """Consistent mass matrix on the reference element: M_ij = ∫ N_i N_j.
+
+    Physical elements scale by ``detJ = prod(h_k / 2)``; callers multiply by
+    that (structured grids: constant Jacobian).
+    """
+    shape_fn, dim = _lookup(element)
+    coords, w = _gauss_points(dim, order)
+    N, _ = shape_fn(*coords.T)
+    return (N.T * w) @ N
+
+
+@lru_cache(maxsize=32)
+def element_stiffness(element: str, order: int = 4,
+                      anisotropy: Tuple[float, ...] = ()) -> np.ndarray:
+    """Reference stiffness matrix K_ij = ∫ (D grad N_i) . grad N_j.
+
+    ``anisotropy`` gives per-axis diffusion coefficients (default all 1).
+    For physical elements of size ``h``: multiply by ``detJ`` and the
+    per-axis gradient scale ``(2/h_k)^2`` — callers handle it; for cubes with
+    equal ``h`` the factor is ``detJ * (2/h)^2 = (h/2)^(d-2) * ...`` (handled
+    by the generator).
+    """
+    shape_fn, dim = _lookup(element)
+    diff = np.ones(dim) if not anisotropy else np.asarray(anisotropy, dtype=float)
+    if diff.shape != (dim,):
+        raise ValueError(f"anisotropy must have {dim} entries")
+    coords, w = _gauss_points(dim, order)
+    _, dN = shape_fn(*coords.T)  # (npts, dim, nnodes)
+    K = np.einsum("pdi,pdj,p,d->ij", dN, dN, w, diff)
+    return K
+
+
+def _lookup(element: str):
+    if element not in _SHAPES:
+        raise KeyError(f"unknown element {element!r}; have {sorted(_SHAPES)}")
+    return _SHAPES[element]
+
+
+def assemble(n_nodes: int, conn: np.ndarray, local: np.ndarray,
+             coeff=None) -> sp.csr_matrix:
+    """Assemble ``sum_e coeff[e] * local`` over elements into a CSR matrix.
+
+    Parameters
+    ----------
+    n_nodes : int
+    conn : (n_elem, k) int array of node ids per element.
+    local : (k, k) shared reference element matrix.
+    coeff : None | scalar | (n_elem,) per-element multiplier.
+    """
+    conn = np.asarray(conn, dtype=np.int64)
+    n_elem, k = conn.shape
+    if local.shape != (k, k):
+        raise ValueError(f"local matrix must be {k}x{k}, got {local.shape}")
+    if coeff is None:
+        coeff = np.ones(n_elem)
+    coeff = np.broadcast_to(np.asarray(coeff, dtype=np.float64), (n_elem,))
+
+    rows = np.repeat(conn, k, axis=1).ravel()          # (n_elem * k * k,)
+    cols = np.tile(conn, (1, k)).ravel()
+    vals = (coeff[:, None] * local.ravel()[None, :]).ravel()
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(n_nodes, n_nodes)).tocsr()
+    A.sum_duplicates()
+    A.eliminate_zeros()
+    return A

@@ -1,0 +1,241 @@
+"""SPD generators matched to the evaluation-suite matrix classes.
+
+Each generator controls the four properties that drive the paper's results on
+its matrix class (see DESIGN.md): per-block exponent locality, entry sign /
+magnitude structure (all-positive mass rows vs mixed-sign stiffness rows),
+condition number, and block-occupancy scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.gallery.fem import assemble, element_mass, element_stiffness
+from repro.sparse.gallery.laplacian import laplacian_2d, laplacian_3d
+from repro.sparse.gallery.meshes import hex_grid, quad_grid, triangle_dual_adjacency
+from repro.util.rng import SeedLike, default_rng
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "smooth_lognormal_field",
+    "hex_mass_matrix",
+    "triangle_coupling_matrix",
+    "variable_coefficient_stiffness_2d",
+    "shifted_laplacian_2d",
+    "minimal_surface_2d",
+    "shifted_laplacian_3d",
+    "positive_stencil_3d",
+    "scatter_permute",
+]
+
+
+def smooth_lognormal_field(points: np.ndarray, sigma: float,
+                           seed: SeedLike = None, n_modes: int = 6) -> np.ndarray:
+    """Spatially smooth lognormal coefficient field ``exp(sigma * g(x))``.
+
+    ``g`` is a random low-frequency Fourier series normalised to unit variance.
+    Smoothness matters for the reproduction: real material fields (crystal
+    density, PDE coefficients) vary slowly, so the exponent spread *within one
+    128x128 matrix block* stays within the paper's measured locality (<= 7
+    binades, Fig. 3d) even when the global contrast — and hence the condition
+    number — is large.  IID randomness would break that locality and, with it,
+    ReFloat's convergence (see DESIGN.md).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    rng = default_rng(seed)
+    dim = points.shape[1]
+    amps = rng.standard_normal(n_modes)
+    freqs = rng.integers(1, 4, size=(n_modes, dim)).astype(np.float64)
+    phases = rng.uniform(0, 2 * np.pi, n_modes)
+    g = np.zeros(points.shape[0])
+    for a, k, phi in zip(amps, freqs, phases):
+        g += a * np.sin(2 * np.pi * points @ k + phi)
+    norm = np.sqrt(np.sum(amps ** 2) / 2.0)
+    return np.exp(sigma * g / max(norm, 1e-12))
+
+
+def hex_mass_matrix(n_cells: int, density_sigma: float = 1.0,
+                    scale: float = 2.0 ** -30, seed: SeedLike = None) -> sp.csr_matrix:
+    """Q1 hexahedral consistent mass matrix (crystm / qa8fm analog).
+
+    All entries are positive (trilinear shape functions are non-negative) and
+    row sums exceed the largest entry by ~27/8, the structure that defeats the
+    Feinberg vector window.  ``density_sigma`` sets a lognormal per-element
+    density spread that inflates the condition number; ``scale`` is a global
+    power-of-two multiplier placing entries in the (tiny) magnitude range of
+    the real crystal mass matrices while exactly preserving binade structure.
+    """
+    n_cells = check_positive_int(n_cells, "n_cells")
+    rng = default_rng(seed)
+    n_nodes, conn = hex_grid(n_cells, n_cells, n_cells)
+    local = element_mass("q1_hex", order=3)
+    kk, jj, ii = np.meshgrid(np.arange(n_cells), np.arange(n_cells),
+                             np.arange(n_cells), indexing="ij")
+    centers = (np.stack([ii.ravel(), jj.ravel(), kk.ravel()], axis=1) + 0.5) / n_cells
+    rho = smooth_lognormal_field(centers, density_sigma, seed=rng)
+    return assemble(n_nodes, conn, local, coeff=rho * scale)
+
+
+def triangle_coupling_matrix(k: int, diag: tuple = (0.55, 0.95),
+                             coupling: tuple = (0.05, 0.15),
+                             seed: SeedLike = None) -> sp.csr_matrix:
+    """All-positive SPD operator on the triangle-neighbour graph
+    (shallow_water analog: exactly 4 nonzeros per interior row).
+
+    ``A = D + W`` with random positive diagonal ``D`` and a random positive
+    weight per triangle-adjacency edge.  SPD because
+    ``min(diag) > 3 * max(coupling)``.  Row sums straddle the binade boundary
+    at 1.0 while all entries sit below it — so under the Feinberg window
+    (anchored at the matrix's max entry exponent) *some but not all* solver
+    vector components alias, which is the catastrophic, non-uniform corruption
+    that makes [32] diverge here (a uniform wrap would be a benign global
+    rescaling).
+    """
+    k = check_positive_int(k, "k")
+    lo, hi = coupling
+    dlo, dhi = diag
+    if not (0 < lo <= hi) or dlo <= 3 * hi or dlo > dhi:
+        raise ValueError("need 0 < lo <= hi and dlo > 3*hi and dlo <= dhi")
+    rng = default_rng(seed)
+    n, eu, ev = triangle_dual_adjacency(k, k)
+    w = rng.uniform(lo, hi, eu.size)
+    d = rng.uniform(dlo, dhi, n)
+    rows = np.concatenate((eu, ev, np.arange(n)))
+    cols = np.concatenate((ev, eu, np.arange(n)))
+    vals = np.concatenate((w, w, d))
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+
+
+def variable_coefficient_stiffness_2d(n_cells: int, contrast_sigma: float = 0.6,
+                                      seed: SeedLike = None) -> sp.csr_matrix:
+    """Q1 quad stiffness with lognormal coefficient, Dirichlet BCs
+    (Dubcova analog: mixed-sign rows, ~9 nonzeros per row, kappa ~ 1e4).
+
+    Boundary nodes are eliminated, leaving ``(n_cells - 1)^2`` unknowns.
+    """
+    n_cells = check_positive_int(n_cells, "n_cells")
+    if n_cells < 3:
+        raise ValueError("n_cells must be >= 3 for a nonempty interior")
+    rng = default_rng(seed)
+    n_nodes, conn = quad_grid(n_cells, n_cells)
+    local = element_stiffness("q1_quad", order=2)
+    jj, ii = np.meshgrid(np.arange(n_cells), np.arange(n_cells), indexing="ij")
+    centers = (np.stack([ii.ravel(), jj.ravel()], axis=1) + 0.5) / n_cells
+    kappa_e = smooth_lognormal_field(centers, contrast_sigma, seed=rng)
+    A = assemble(n_nodes, conn, local, coeff=kappa_e)
+    # Interior selection: nodes with grid coords in [1, n_cells-1].
+    idx = np.arange(n_nodes)
+    gx, gy = idx % (n_cells + 1), idx // (n_cells + 1)
+    interior = np.flatnonzero((gx > 0) & (gx < n_cells) & (gy > 0) & (gy < n_cells))
+    return sp.csr_matrix(A[np.ix_(interior, interior)])
+
+
+def shifted_laplacian_2d(n: int, shift_ratio: float = 1 / 81) -> sp.csr_matrix:
+    """5-point Dirichlet Laplacian plus a diagonal shift.
+
+    The shift pins the condition number near ``1/shift_ratio`` regardless of
+    grid size.  Note: under aggressive fraction truncation a *uniform* small
+    shift is erased from the (uniform) diagonal, inflating the quantised
+    condition number — use :func:`minimal_surface_2d` for the minsurfo analog,
+    whose varying coefficients avoid that artifact.
+    """
+    A = laplacian_2d(n)
+    shift = 8.0 * shift_ratio  # lambda_max of the 5-point stencil is < 8
+    return (A + shift * sp.identity(A.shape[0])).tocsr()
+
+
+def minimal_surface_2d(n: int, sigma: float = 0.5, gamma: float = 0.12,
+                       seed: SeedLike = None) -> sp.csr_matrix:
+    """Minimal-surface-Hessian analog (minsurfo): variable-coefficient Q1
+    stiffness plus a *proportional* diagonal shift ``gamma * diag(K)``.
+
+    The minimal-surface Hessian is a Laplacian with solution-dependent
+    coefficients plus a positive-definite low-order term; the proportional
+    shift pins kappa near ``(1 + gamma) * 4 / gamma`` (~81 at the default,
+    the paper's value) and — unlike a uniform additive shift — survives
+    fraction truncation because it scales with each (varying) diagonal entry.
+    """
+    n = check_positive_int(n, "n")
+    if n < 3:
+        raise ValueError("n must be >= 3 for a nonempty interior")
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    rng = default_rng(seed)
+    n_nodes, conn = quad_grid(n, n)
+    local = element_stiffness("q1_quad", order=2)
+    jj, ii = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    centers = (np.stack([ii.ravel(), jj.ravel()], axis=1) + 0.5) / n
+    coef = smooth_lognormal_field(centers, sigma, seed=rng)
+    K = assemble(n_nodes, conn, local, coeff=coef)
+    idx = np.arange(n_nodes)
+    gx, gy = idx % (n + 1), idx // (n + 1)
+    interior = np.flatnonzero((gx > 0) & (gx < n) & (gy > 0) & (gy < n))
+    K = sp.csr_matrix(K[np.ix_(interior, interior)])
+    return (K + gamma * sp.diags(K.diagonal())).tocsr()
+
+
+def shifted_laplacian_3d(n: int, shift_ratio: float = 1 / 123) -> sp.csr_matrix:
+    """7-point Dirichlet Laplacian plus diagonal shift (thermomech_TC analog)."""
+    A = laplacian_3d(n)
+    shift = 12.0 * shift_ratio
+    return (A + shift * sp.identity(A.shape[0])).tocsr()
+
+
+def positive_stencil_3d(n: int, diag: tuple = (0.5, 0.9), coupling: float = 0.065,
+                        scale: float = 2.0 ** -30, seed: SeedLike = None,
+                        jitter: float = 0.2) -> sp.csr_matrix:
+    """All-positive 7-point operator (thermomech_dM analog: a mass matrix).
+
+    ``A = D + C`` with a random positive diagonal in ``diag`` and jittered
+    positive couplings on grid edges.  SPD for
+    ``min(diag) > 6 * coupling * (1 + jitter)``.  Interior row sums straddle
+    the binade at 1.0 while entries stay below it — the non-uniform Feinberg
+    aliasing condition (see :func:`triangle_coupling_matrix`).
+    """
+    n = check_positive_int(n, "n")
+    dlo, dhi = diag
+    if dlo <= 6 * coupling * (1 + jitter) or dlo > dhi:
+        raise ValueError("need dlo > 6*coupling*(1+jitter) and dlo <= dhi for SPD")
+    rng = default_rng(seed)
+    L = laplacian_3d(n).tocoo()
+    off = L.row != L.col
+    rows, cols = L.row[off], L.col[off]
+    # Symmetric jitter: hash the undirected edge so both triangles match.
+    lo = np.minimum(rows, cols).astype(np.int64)
+    hi = np.maximum(rows, cols).astype(np.int64)
+    edge_key = lo * (n ** 3) + hi
+    uniq, inverse = np.unique(edge_key, return_inverse=True)
+    w_edge = coupling * (1.0 + jitter * (2 * rng.random(uniq.size) - 1))
+    vals = w_edge[inverse]
+    m = n ** 3
+    d = rng.uniform(dlo, dhi, m)
+    A = sp.coo_matrix(
+        (np.concatenate((vals, d)),
+         (np.concatenate((rows, np.arange(m))), np.concatenate((cols, np.arange(m))))),
+        shape=(m, m),
+    ).tocsr()
+    return (A * scale).tocsr()
+
+
+def scatter_permute(A: sp.csr_matrix, fraction: float = 0.5,
+                    seed: SeedLike = None) -> sp.csr_matrix:
+    """Symmetrically permute a random subset of indices (occupancy scatter).
+
+    Real engineering matrices (thermomech_*) come with orderings that scatter
+    nonzeros across many ``128 x 128`` blocks; mesh-native numbering is far too
+    local.  Permuting ``fraction`` of the indices reproduces the scattered
+    block occupancy that drives the accelerator's multi-round mapping, without
+    changing the spectrum (similarity transform).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    A = sp.csr_matrix(A)
+    n = A.shape[0]
+    rng = default_rng(seed)
+    perm = np.arange(n)
+    chosen = rng.choice(n, size=int(round(fraction * n)), replace=False)
+    perm[np.sort(chosen)] = chosen[np.argsort(rng.random(chosen.size))]
+    # perm is a permutation: chosen slots filled by a shuffle of chosen ids.
+    P = sp.csr_matrix((np.ones(n), (np.arange(n), perm)), shape=(n, n))
+    return (P @ A @ P.T).tocsr()

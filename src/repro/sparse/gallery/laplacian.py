@@ -1,0 +1,80 @@
+"""Structured Laplacian-type SPD operators (stencil and Kronecker builds)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "laplacian_1d",
+    "laplacian_2d",
+    "laplacian_3d",
+    "anisotropic_periodic_2d",
+]
+
+
+def laplacian_1d(n: int, periodic: bool = False) -> sp.csr_matrix:
+    """1-D second-difference matrix (Dirichlet by default)."""
+    n = check_positive_int(n, "n")
+    main = 2.0 * np.ones(n)
+    off = -np.ones(n - 1)
+    T = sp.diags([off, main, off], [-1, 0, 1], format="lil")
+    if periodic and n > 2:
+        T[0, n - 1] = -1.0
+        T[n - 1, 0] = -1.0
+    return sp.csr_matrix(T)
+
+
+def laplacian_2d(nx: int, ny: Optional[int] = None, periodic: bool = False) -> sp.csr_matrix:
+    """5-point 2-D Laplacian via Kronecker sum (SPD for Dirichlet)."""
+    ny = nx if ny is None else ny
+    Tx = laplacian_1d(nx, periodic)
+    Ty = laplacian_1d(ny, periodic)
+    Ix = sp.identity(nx, format="csr")
+    Iy = sp.identity(ny, format="csr")
+    return (sp.kron(Iy, Tx) + sp.kron(Ty, Ix)).tocsr()
+
+
+def laplacian_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
+                 periodic: bool = False) -> sp.csr_matrix:
+    """7-point 3-D Laplacian via Kronecker sum."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    Tx = laplacian_1d(nx, periodic)
+    Ty = laplacian_1d(ny, periodic)
+    Tz = laplacian_1d(nz, periodic)
+    Ix = sp.identity(nx, format="csr")
+    Iy = sp.identity(ny, format="csr")
+    Iz = sp.identity(nz, format="csr")
+    return (
+        sp.kron(Iz, sp.kron(Iy, Tx))
+        + sp.kron(Iz, sp.kron(Ty, Ix))
+        + sp.kron(Tz, sp.kron(Iy, Ix))
+    ).tocsr()
+
+
+def anisotropic_periodic_2d(nx: int, ny: Optional[int] = None,
+                            epsilon: float = 1e-2, shift: float = 1e-4) -> sp.csr_matrix:
+    """Anisotropic periodic Laplacian plus a diagonal shift (gridgena analog).
+
+    ``A = eps * Lx + Ly + shift * I`` with periodic boundaries.  Row sums are
+    the constant ``shift`` (the periodic Laplacian annihilates constants), so
+    ``A @ ones = shift * ones`` — the constant vector is an eigenvector, which
+    is why CG/BiCGSTAB converge on it in a single iteration (the curious
+    ``#ite = 1`` row of the paper's Table VI).  The condition number is
+    ``(lambda_max + shift) / shift`` with ``lambda_max ~ 4(1 + eps)``; the
+    default shift targets kappa ~ 5e5 like gridgena.
+    """
+    ny = nx if ny is None else ny
+    if epsilon <= 0 or shift <= 0:
+        raise ValueError("epsilon and shift must be positive")
+    Tx = laplacian_1d(nx, periodic=True)
+    Ty = laplacian_1d(ny, periodic=True)
+    Ix = sp.identity(nx, format="csr")
+    Iy = sp.identity(ny, format="csr")
+    A = epsilon * sp.kron(Iy, Tx) + sp.kron(Ty, Ix)
+    return (A + shift * sp.identity(nx * ny)).tocsr()

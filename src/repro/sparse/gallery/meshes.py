@@ -1,0 +1,156 @@
+"""Structured meshes for the FEM gallery generators.
+
+All meshes are logically structured (tensor grids) so connectivity is computed
+with pure NumPy index arithmetic — no mesh libraries.  Node/element counts:
+
+* ``quad_grid(nx, ny)``: bilinear quads, ``(nx+1)(ny+1)`` nodes.
+* ``hex_grid(nx, ny, nz)``: trilinear hexahedra, ``(nx+1)(ny+1)(nz+1)`` nodes.
+* ``serendipity_grid(nx, ny)``: 8-node quadratic quads (corner + edge-midside
+  nodes, no centre node), ``3*nx*ny + 2*nx + 2*ny + 1`` nodes — the mesh
+  underlying MATLAB's ``gallery('wathen')``.
+* ``triangle_dual_adjacency(nx, ny)``: the 3-regular-ish adjacency of the
+  triangles obtained by splitting each grid cell along a diagonal, used for
+  the shallow-water analog (4 nonzeros per row including the diagonal).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "quad_grid",
+    "hex_grid",
+    "serendipity_grid",
+    "triangle_dual_adjacency",
+]
+
+
+def quad_grid(nx: int, ny: int) -> Tuple[int, np.ndarray]:
+    """4-node quad connectivity on an ``nx x ny`` cell grid.
+
+    Returns ``(n_nodes, conn)`` with ``conn`` of shape ``(nx*ny, 4)`` listing
+    node ids counter-clockwise from the lower-left corner.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = check_positive_int(ny, "ny")
+    n_nodes = (nx + 1) * (ny + 1)
+    jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    ll = (jj * (nx + 1) + ii).ravel()  # lower-left node of each cell
+    conn = np.stack([ll, ll + 1, ll + nx + 2, ll + nx + 1], axis=1)
+    return n_nodes, conn.astype(np.int64)
+
+
+def hex_grid(nx: int, ny: int, nz: int) -> Tuple[int, np.ndarray]:
+    """8-node hexahedron connectivity on an ``nx x ny x nz`` cell grid."""
+    nx = check_positive_int(nx, "nx")
+    ny = check_positive_int(ny, "ny")
+    nz = check_positive_int(nz, "nz")
+    n_nodes = (nx + 1) * (ny + 1) * (nz + 1)
+    stride_y = nx + 1
+    stride_z = (nx + 1) * (ny + 1)
+    kk, jj, ii = np.meshgrid(np.arange(nz), np.arange(ny), np.arange(nx),
+                             indexing="ij")
+    base = (kk * stride_z + jj * stride_y + ii).ravel()
+    conn = np.stack([
+        base, base + 1, base + stride_y + 1, base + stride_y,
+        base + stride_z, base + stride_z + 1,
+        base + stride_z + stride_y + 1, base + stride_z + stride_y,
+    ], axis=1)
+    return n_nodes, conn.astype(np.int64)
+
+
+def serendipity_grid(nx: int, ny: int) -> Tuple[int, np.ndarray]:
+    """8-node serendipity quad connectivity (Wathen's mesh).
+
+    Node layout per element (reference coordinates), in the conventional
+    counter-clockwise order starting at the lower-left corner::
+
+        7---6---5
+        |       |
+        8       4        (element-local ids 0..7 = nodes 1,2,3,4,5,6,7,8)
+        |       |
+        1---2---3
+
+    Global numbering: corner nodes live on a ``(nx+1) x (ny+1)`` grid, the
+    horizontal mid-edge nodes on an ``nx x (ny+1)`` grid, the vertical
+    mid-edge nodes on an ``(nx+1) x ny`` grid; rows interleave so each "row
+    band" contributes ``(2*nx + 1) + (nx + 1)`` nodes — giving the classic
+    ``3*nx*ny + 2*nx + 2*ny + 1`` total.
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = check_positive_int(ny, "ny")
+    row_full = 2 * nx + 1  # corners + horizontal midpoints along one y-level
+    row_mid = nx + 1       # vertical midpoints between two y-levels
+    band = row_full + row_mid
+    n_nodes = 3 * nx * ny + 2 * nx + 2 * ny + 1
+
+    jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    jj = jj.ravel()
+    ii = ii.ravel()
+    bottom = jj * band + 2 * ii          # lower-left corner node
+    midrow = jj * band + row_full + ii   # left vertical midpoint
+    top = (jj + 1) * band + 2 * ii       # upper-left corner node
+    conn = np.stack([
+        bottom, bottom + 1, bottom + 2,   # 1, 2, 3 (bottom edge)
+        midrow + 1,                       # 4 (right vertical midpoint)
+        top + 2, top + 1, top,            # 5, 6, 7 (top edge, right to left)
+        midrow,                           # 8 (left vertical midpoint)
+    ], axis=1)
+    return n_nodes, conn.astype(np.int64)
+
+
+def triangle_dual_adjacency(nx: int, ny: int) -> Tuple[int, np.ndarray, np.ndarray]:
+    """Edge list of the triangle-neighbour graph of a split quad grid.
+
+    Each cell splits into a lower and an upper triangle (``2*nx*ny``
+    triangles).  Two triangles are adjacent if they share an edge; interior
+    triangles have exactly 3 neighbours (lower: right cell's upper? no —
+    lower triangle neighbours: the upper triangle of the same cell, the upper
+    triangle of the cell below, and the upper triangle of the cell to the
+    left... with the diagonal from lower-left to upper-right:
+    lower = (SW, SE, NE), upper = (SW, NE, NW)).
+
+    Returns ``(n_triangles, edge_u, edge_v)`` with each undirected edge listed
+    once (``u < v``).
+    """
+    nx = check_positive_int(nx, "nx")
+    ny = check_positive_int(ny, "ny")
+    n_tri = 2 * nx * ny
+    jj, ii = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    jj = jj.ravel()
+    ii = ii.ravel()
+    lower = 2 * (jj * nx + ii)      # triangle (SW, SE, NE)
+    upper = lower + 1               # triangle (SW, NE, NW)
+
+    edges_u = [lower]               # diagonal edge: lower <-> upper, same cell
+    edges_v = [upper]
+
+    # lower's bottom edge <-> upper triangle of the cell below (shares SW-SE).
+    has_below = jj > 0
+    edges_u.append(upper[has_below] - 2 * nx - 1 + 0)  # placeholder, fixed below
+    edges_v.append(lower[has_below])
+    # Recompute properly: cell below has index (jj-1, ii); its upper triangle
+    # top edge is the NW-NE edge... the shared edge between vertically adjacent
+    # cells is cell-below's top edge (NW-NE of below = SW-SE of current), which
+    # belongs to below's *upper* triangle.
+    edges_u[-1] = 2 * ((jj[has_below] - 1) * nx + ii[has_below]) + 1
+
+    # upper's left edge (SW-NW) <-> the triangle right of the left cell that
+    # owns the shared vertical edge: left cell's *lower* triangle owns its
+    # right edge (SE-NE)?  With diagonal SW-NE: lower = (SW, SE, NE) owns the
+    # right vertical edge SE-NE; upper = (SW, NE, NW) owns the left vertical
+    # edge SW-NW.  So current upper's left edge matches left cell's lower
+    # triangle's right edge.
+    has_left = ii > 0
+    edges_u.append(2 * (jj[has_left] * nx + ii[has_left] - 1))
+    edges_v.append(upper[has_left])
+
+    u = np.concatenate(edges_u)
+    v = np.concatenate(edges_v)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    return n_tri, lo.astype(np.int64), hi.astype(np.int64)

@@ -1,0 +1,101 @@
+"""Matrix statistics: the Table V columns plus exponent/magnitude profiles."""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.formats import ieee
+
+__all__ = [
+    "is_symmetric",
+    "nnz_per_row",
+    "extreme_eigenvalues",
+    "condition_number",
+    "summarize",
+]
+
+
+def is_symmetric(A, tol: float = 0.0) -> bool:
+    """Exact (tol=0) or tolerant structural+value symmetry check."""
+    A = sp.csr_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        return False
+    D = (A - A.T).tocoo()
+    if D.nnz == 0:
+        return True
+    return bool(np.max(np.abs(D.data)) <= tol * max(np.max(np.abs(A.data)), 1e-300))
+
+
+def nnz_per_row(A) -> float:
+    A = sp.csr_matrix(A)
+    return A.nnz / A.shape[0]
+
+
+def extreme_eigenvalues(A, tol: float = 1e-6, maxiter: int = 5000):
+    """(lambda_min, lambda_max) of a symmetric matrix via Lanczos.
+
+    lambda_max uses plain Lanczos; lambda_min uses shift-invert when a sparse
+    factorisation succeeds, else LOBPCG with a Jacobi preconditioner.  Returns
+    floats (possibly approximate — intended for reporting, not algorithms).
+    """
+    A = sp.csr_matrix(A).astype(np.float64)
+    n = A.shape[0]
+    if n < 3:
+        w = np.linalg.eigvalsh(A.toarray())
+        return float(w[0]), float(w[-1])
+    lam_max = float(spla.eigsh(A, k=1, which="LA", tol=tol,
+                               maxiter=maxiter, return_eigenvectors=False)[0])
+    try:
+        lam_min = float(spla.eigsh(A, k=1, sigma=0, which="LM", tol=tol,
+                                   maxiter=maxiter, return_eigenvectors=False)[0])
+    except Exception:  # pragma: no cover - fallback path
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rng = np.random.default_rng(0)
+            X = rng.standard_normal((n, 1))
+            diag = A.diagonal()
+            M = sp.diags(1.0 / np.where(diag > 0, diag, 1.0))
+            vals, _ = spla.lobpcg(A, X, M=M, largest=False, tol=tol, maxiter=500)
+            lam_min = float(vals[0])
+    return lam_min, lam_max
+
+
+def condition_number(A, tol: float = 1e-6) -> float:
+    """2-norm condition number estimate for a symmetric positive matrix."""
+    lam_min, lam_max = extreme_eigenvalues(A, tol=tol)
+    if lam_min <= 0:
+        return float("inf")
+    return lam_max / lam_min
+
+
+def exponent_profile(A) -> dict:
+    """Unbiased-exponent span of the nonzero values (locality raw material)."""
+    A = sp.csr_matrix(A)
+    _, exp, _ = ieee.decompose(A.data)
+    exp = exp[exp != ieee.EXP_ZERO]
+    if exp.size == 0:
+        return {"min": 0, "max": 0, "span": 0}
+    return {"min": int(exp.min()), "max": int(exp.max()),
+            "span": int(exp.max() - exp.min())}
+
+
+def summarize(A, with_condition: bool = False) -> dict:
+    """The Table V row for a matrix (condition number optional: it is the
+    only expensive column)."""
+    A = sp.csr_matrix(A)
+    out = {
+        "rows": int(A.shape[0]),
+        "cols": int(A.shape[1]),
+        "nnz": int(A.nnz),
+        "nnz_per_row": round(nnz_per_row(A), 2),
+        "symmetric": is_symmetric(A, tol=1e-12),
+    }
+    out.update({f"exp_{k}": v for k, v in exponent_profile(A).items()})
+    if with_condition:
+        out["kappa"] = condition_number(A)
+    return out

@@ -1,0 +1,17 @@
+"""Shared utilities: validation helpers, deterministic RNG, small numerics."""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_nonnegative_int,
+    check_in_range,
+    require,
+)
+from repro.util.rng import default_rng
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_in_range",
+    "require",
+    "default_rng",
+]

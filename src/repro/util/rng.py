@@ -1,0 +1,31 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic components in the library (gallery generators, RTN noise) take
+either an integer seed or a ``numpy.random.Generator``; this module centralises
+the conversion so every entry point behaves identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+#: Seed used when callers pass ``None``.  Fixed so that the benchmark harness
+#: is reproducible run-to-run without any configuration.
+DEFAULT_SEED = 20231110
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or ``None``.
+
+    ``None`` maps to the library-wide :data:`DEFAULT_SEED` (reproducible by
+    default; pass an explicit generator for independent streams).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)

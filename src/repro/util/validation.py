@@ -1,0 +1,52 @@
+"""Small argument-validation helpers used across the package.
+
+These raise ``ValueError``/``TypeError`` with consistent messages so tests can
+assert on them and so public entry points fail fast with actionable errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be an integer, got {value!r}") from None
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be an integer, got {value!r}") from None
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
+    """Validate ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import ReFloatSpec
+from repro.sparse.gallery import laplacian_2d, wathen
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_spd():
+    """A small SPD matrix (2-D Laplacian, 100x100)."""
+    return laplacian_2d(10)
+
+
+@pytest.fixture
+def small_wathen():
+    """A small Wathen matrix (341x341, mixed-sign mass)."""
+    return wathen(10, 10, seed=7)
+
+
+@pytest.fixture
+def default_spec():
+    return ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)
+
+
+@pytest.fixture
+def tiny_spec():
+    """Spec with 8x8 blocks — keeps bit-exact engine tests fast."""
+    return ReFloatSpec(b=3, e=3, f=3, ev=3, fv=8)
+
+
+def random_float_array(rng, n, exp_range=(-20, 20), include_zero=False):
+    """Random finite doubles with a controlled exponent spread."""
+    vals = rng.standard_normal(n) * np.exp2(rng.uniform(*exp_range, n))
+    if include_zero and n > 2:
+        vals[rng.integers(0, n, max(1, n // 10))] = 0.0
+    return vals

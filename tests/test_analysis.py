@@ -1,0 +1,102 @@
+"""Tests for the analysis utilities (locality, memory, traces)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    block_range_histogram,
+    block_storage_bits,
+    downsample_trace,
+    locality_report,
+    memory_overhead,
+    normalize_trace,
+    trace_summary,
+)
+from repro.formats import ReFloatSpec
+from repro.solvers import SolverResult
+from repro.sparse.gallery import hex_mass_matrix, laplacian_2d
+
+
+class TestLocality:
+    def test_report_fields(self):
+        rep = locality_report(hex_mass_matrix(4, seed=1), b=5)
+        assert rep["fp64_bits"] == 11
+        assert 1 <= rep["locality_bits"] <= rep["matrix_bits"] <= 11
+        assert rep["refloat_bits"] == 3
+
+    def test_histogram_counts_blocks(self):
+        A = hex_mass_matrix(4, seed=1)
+        from repro.sparse.blocked import BlockedMatrix
+
+        bm = BlockedMatrix(A, b=5)
+        hist = block_range_histogram(bm)
+        assert int(hist.sum()) == bm.n_blocks
+
+    def test_uniform_matrix_has_zero_range(self):
+        import scipy.sparse as sp
+
+        A = laplacian_2d(8)
+        uniform = sp.csr_matrix((np.ones_like(A.data), A.indices, A.indptr),
+                                shape=A.shape)
+        hist = block_range_histogram(uniform, b=3)
+        assert hist[0] > 0 and hist[1:].sum() == 0
+
+
+class TestMemory:
+    def test_paper_sec4a_example_151_bits(self):
+        spec = ReFloatSpec(b=2, e=2, f=3)
+        out = block_storage_bits(8, spec)
+        assert out["refloat_bits"] == 151
+        assert out["double_bits"] == 1024
+        assert out["ratio"] == pytest.approx(151 / 1024)
+
+    def test_overhead_in_paper_range(self):
+        A = hex_mass_matrix(6, seed=2)
+        spec = ReFloatSpec(b=7, e=3, f=3)
+        out = memory_overhead(A, spec)
+        # Dense-blocked matrices: ~0.17 (Table VIII).
+        assert 0.1 < out["ratio"] < 0.45
+
+    def test_sparser_blocks_cost_more(self):
+        from repro.sparse.gallery import scatter_permute
+
+        A = laplacian_2d(40)
+        spec = ReFloatSpec(b=7, e=3, f=3)
+        tight = memory_overhead(A, spec)["ratio"]
+        scattered = memory_overhead(scatter_permute(A, 1.0, seed=1), spec)["ratio"]
+        assert scattered > tight
+
+
+class TestTraces:
+    def _result(self, history):
+        return SolverResult(x=np.zeros(1), converged=True,
+                            iterations=len(history) - 1,
+                            residual_norm=history[-1],
+                            residual_history=list(history))
+
+    def test_normalize_trace_axes(self):
+        res = self._result([1.0, 0.1, 0.01])
+        out = normalize_trace(res, time_per_iteration_s=1e-6,
+                              reference_time_s=2e-6)
+        assert np.allclose(out["x"], [0.0, 0.5, 1.0])
+        assert out["r"][-1] == 0.01
+
+    def test_normalize_validates(self):
+        res = self._result([1.0])
+        with pytest.raises(ValueError):
+            normalize_trace(res, 0.0, 1.0)
+
+    def test_trace_summary_spikes(self):
+        res = self._result([1.0, 0.5, 0.8, 0.1])
+        s = trace_summary(res)
+        assert s["spikes"] == 1
+        assert s["max_ratio"] == pytest.approx(1.6)
+
+    def test_downsample_keeps_endpoints(self):
+        h = list(np.linspace(1.0, 0.0, 500))
+        d = downsample_trace(h, max_points=32)
+        assert len(d) <= 32
+        assert d[0] == h[0] and d[-1] == h[-1]
+
+    def test_downsample_short_passthrough(self):
+        assert downsample_trace([3.0, 2.0]) == [3.0, 2.0]

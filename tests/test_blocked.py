@@ -1,0 +1,164 @@
+"""Tests for the sparse block partition."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import ReFloatSpec
+from repro.formats.refloat import quantize_values
+from repro.sparse.blocked import BlockedMatrix, block_coordinates
+
+
+def small_matrix():
+    rng = np.random.default_rng(5)
+    A = sp.random(50, 50, density=0.1, random_state=np.random.RandomState(5),
+                  format="csr")
+    A.data = rng.standard_normal(A.nnz) * np.exp2(rng.uniform(-2, 2, A.nnz))
+    A.eliminate_zeros()
+    return A
+
+
+class TestPartition:
+    def test_block_coordinates(self):
+        A = sp.csr_matrix(np.array([[1.0, 0, 0, 2.0], [0, 3.0, 0, 0],
+                                    [0, 0, 4.0, 0], [5.0, 0, 0, 6.0]]))
+        bi, bj = block_coordinates(A, b=1)
+        assert bi.tolist() == [0, 0, 0, 1, 1, 1]
+        assert bj.tolist() == [0, 1, 0, 1, 0, 1]
+
+    def test_n_blocks_counts_occupied_only(self):
+        A = sp.csr_matrix(np.diag(np.ones(16)))
+        bm = BlockedMatrix(A, b=2)
+        assert bm.n_blocks == 4  # only diagonal 4x4 blocks
+
+    def test_block_nnz_sums_to_nnz(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        assert int(bm.block_nnz.sum()) == bm.nnz
+
+    def test_block_coords_shape(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        bi, bj = bm.block_coords()
+        assert bi.shape == bj.shape == (bm.n_blocks,)
+        nbr, nbc = bm.block_grid
+        assert bi.max() < nbr and bj.max() < nbc
+
+    def test_eliminates_explicit_zeros(self):
+        A = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        A[0, 1] = 0.0  # explicit zero
+        bm = BlockedMatrix(A, b=0)
+        assert bm.nnz == 1
+
+    def test_rejects_nonfinite(self):
+        A = sp.csr_matrix(np.array([[np.inf]]))
+        with pytest.raises(ValueError):
+            BlockedMatrix(A, b=0)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            BlockedMatrix(small_matrix(), b=13)
+
+    def test_empty_matrix(self):
+        bm = BlockedMatrix(sp.csr_matrix((8, 8)), b=1)
+        assert bm.n_blocks == 0
+        assert bm.locality_bits() == 1
+        assert bm.quantize(ReFloatSpec(b=1)).nnz == 0
+
+
+class TestExponentBases:
+    def test_cover_base_tops_block_max(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        eb = bm.exponent_bases(e=3, policy="cover")
+        exps = bm._exponents[bm.order]
+        mx = np.maximum.reduceat(exps, bm.group_starts)
+        assert np.array_equal(eb, mx - 3)
+
+    def test_mean_base_matches_scalar_formula(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        from repro.formats.refloat import optimal_exponent_base
+
+        exps = bm._exponents[bm.order]
+        starts = list(bm.group_starts) + [bm.nnz]
+        for k in range(bm.n_blocks):
+            expected = optimal_exponent_base(exps[starts[k]:starts[k + 1]])
+            assert bm.block_eb[k] == expected
+
+    def test_bad_policy(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        with pytest.raises(ValueError):
+            bm.exponent_bases(3, policy="median")
+
+
+class TestQuantize:
+    def test_sparsity_pattern_preserved(self):
+        A = small_matrix()
+        bm = BlockedMatrix(A, b=3)
+        Q = bm.quantize(ReFloatSpec(b=3, e=3, f=3))
+        assert np.array_equal(Q.indices, bm.A.indices)
+        assert np.array_equal(Q.indptr, bm.A.indptr)
+
+    def test_matches_per_block_quantization(self):
+        A = small_matrix()
+        spec = ReFloatSpec(b=3, e=3, f=4)
+        bm = BlockedMatrix(A, b=3)
+        Q = bm.quantize(spec).tocoo()
+        dense = A.toarray()
+        B = 8
+        for bi in range(0, 50, B):
+            for bj in range(0, 50, B):
+                blk = dense[bi:bi + B, bj:bj + B]
+                nz = blk != 0
+                if not nz.any():
+                    continue
+                expected = np.zeros_like(blk)
+                expected[nz], _ = quantize_values(blk[nz], spec.e, spec.f,
+                                                  eb_policy="cover",
+                                                  underflow="flush")
+                actual = Q.toarray()[bi:bi + B, bj:bj + B]
+                assert np.array_equal(actual, expected)
+
+    def test_symmetry_preserved(self):
+        from repro.sparse.gallery import wathen
+
+        A = wathen(6, 6, seed=3)
+        bm = BlockedMatrix(A, b=4)
+        Q = bm.quantize(ReFloatSpec(b=4, e=3, f=3))
+        assert (Q - Q.T).nnz == 0
+
+    def test_spec_b_mismatch_raises(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        with pytest.raises(ValueError):
+            bm.quantize(ReFloatSpec(b=4))
+
+    def test_full_precision_identity(self):
+        A = small_matrix()
+        bm = BlockedMatrix(A, b=3)
+        Q = bm.quantize(ReFloatSpec(b=3, e=11, f=52))
+        assert np.array_equal(Q.data, bm.A.data)
+
+    def test_quantization_error_stats(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        err = bm.quantization_error(ReFloatSpec(b=3, e=4, f=4))
+        assert 0 <= err["mean_rel"] <= err["max_rel"]
+        assert err["frobenius_rel"] >= 0
+
+
+class TestStatsAndStorage:
+    def test_locality_bits_fits_ranges(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        e = bm.locality_bits()
+        assert (1 << e) - 1 >= int(bm.block_exponent_range.max())
+        assert (1 << (e - 1)) - 1 < int(bm.block_exponent_range.max()) or e == 1
+
+    def test_storage_bits(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        spec = ReFloatSpec(b=3, e=3, f=3)
+        bits = bm.storage_bits_refloat(spec)
+        expected = bm.nnz * (6 + 7) + bm.n_blocks * (2 * 29 + 11)
+        assert bits == expected
+        assert bm.storage_bits_double() == bm.nnz * 128
+
+    def test_occupancy_stats(self):
+        bm = BlockedMatrix(small_matrix(), b=3)
+        st = bm.occupancy_stats()
+        assert st["n_blocks"] == bm.n_blocks
+        assert 0 < st["density"] <= 1

@@ -1,0 +1,139 @@
+"""Smoke + semantics tests of the experiment runners (test scale)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import (
+    MatrixRun,
+    default_spec_for,
+    geometric_mean,
+    run_matrix,
+    run_suite,
+)
+from repro.experiments.reporting import format_number, format_table
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(None) == "-"
+        assert format_number("NC") == "NC"
+        assert format_number(42) == "42"
+        assert format_number(float("nan")) == "NC"
+        assert format_number(1.23456789) == "1.235"
+        assert format_number(1.5e-9) == "1.50e-09"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned
+
+
+class TestCommon:
+    def test_default_spec_overrides(self):
+        assert default_spec_for(1288).fv == 16
+        assert default_spec_for(353).fv == 8
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geometric_mean([]))
+        assert geometric_mean([2.0, float("inf"), float("nan")]) == 2.0
+
+    def test_run_matrix_platforms_and_times(self):
+        run = run_matrix(1311, "cg", scale="test")
+        assert set(run.results) == {"gpu", "feinberg", "feinberg_fc", "refloat"}
+        assert run.results["gpu"].converged
+        assert run.times_s["gpu"] > 0
+        assert run.speedup("refloat") > 0
+
+    def test_nc_platform_has_nan_speedup(self):
+        run = run_matrix(353, "cg", scale="test")  # Feinberg NC on crystm01
+        assert not run.results["feinberg"].converged
+        assert math.isnan(run.speedup("feinberg"))
+
+    def test_run_suite_cached(self):
+        a = run_suite("cg", "test")
+        b = run_suite("cg", "test")
+        assert a is b
+
+    def test_unknown_solver(self):
+        with pytest.raises(KeyError):
+            run_matrix(353, "sor", scale="test")
+
+
+class TestRunners:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {"table1", "fig3", "table5", "fig8", "fig9",
+                                    "table6", "table7", "fig10", "table8"}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table9")
+
+    def test_fig3_shapes(self):
+        data = run_experiment("fig3", scale="test", print_output=False)
+        assert len(data["d"]) == 12
+        assert all(d["locality_bits"] <= 4 for d in data["d"])
+        # Eq. 2/3 monotonicity along the sweeps.
+        cyc = {(d["ev"], d["eM"]): d["cycles"] for d in data["a"]}
+        assert cyc[(0, 0)] < cyc[(10, 10)]
+
+    def test_table7_matches_paper_config(self):
+        data = run_experiment("table7", print_output=False)
+        assert data[353] == {"name": "crystm01", "e": 3, "f": 3, "ev": 3,
+                             "fv": 8, "note": ""}
+        assert data[1848]["fv"] == 16
+
+    def test_table8_ratios(self):
+        data = run_experiment("table8", scale="test", print_output=False)
+        for sid, d in data.items():
+            assert 0.1 < d["ratio"] < 0.6
+
+    def test_table5_without_condition(self):
+        data = run_experiment("table5", scale="test", print_output=False)
+        # run() computes kappa by default; collect via with_condition=False path:
+        from repro.experiments.table5 import collect
+
+        light = collect(scale="test", with_condition=False)
+        assert "kappa" not in light[353]
+        assert light[353]["rows"] == data[353]["rows"]
+
+    def test_fig8_gmn_and_nc_set(self):
+        data = run_experiment("fig8", scale="test", print_output=False)
+        cg = data["cg"]
+        nc_ids = {row[0] for row in cg["rows"] if row[2] != row[2]}  # NaN
+        assert nc_ids == {353, 354, 355, 2261, 2259, 845}
+        assert cg["gmn"]["refloat"] > cg["gmn"]["feinberg_fc"]
+
+    def test_table6_refloat_close_to_double(self):
+        data = run_experiment("table6", scale="test", print_output=False)
+        for sid, d in data.items():
+            assert d["cg_refloat"] is not None  # refloat always converges
+            assert d["cg_refloat"] <= 4 * max(d["cg_double"], 1) + 30
+
+    def test_fig9_traces_have_series(self):
+        data = run_experiment("fig9", scale="test", print_output=False)
+        entry = data["cg"][1311]
+        assert entry["series"]["gpu"]["r"][0] > 0
+        assert entry["series"]["refloat"]["converged"]
+
+    def test_fig10_noise_monotone_iterations(self):
+        from repro.experiments import fig10
+
+        data = fig10.run(scale="test", print_output=False, max_iterations=5000)
+        assert all(d["converged"] for d in data[:3])  # small sigma converges
+        its = [d["iterations"] for d in data if d["converged"]]
+        assert its[0] <= its[-1] * 1.5 + 10  # low noise not much worse
+
+    def test_table1_shape(self):
+        from repro.experiments import table1
+
+        data = table1.run(scale="test", print_output=False,
+                          max_iterations=4000)
+        frac_iters = [d["iterations"] for d in data["frac"]]
+        assert frac_iters[0] is not None  # full precision converges
+        exp_rows = {d["exp"]: d["iterations"] for d in data["exp"]}
+        assert exp_rows[11] is not None and exp_rows[6] is None  # 6-bit NC

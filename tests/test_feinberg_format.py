@@ -1,0 +1,87 @@
+"""Tests for the Feinberg [32] vector-window model."""
+
+import numpy as np
+import pytest
+
+from repro.formats.feinberg import (
+    FeinbergSpec,
+    matrix_anchor_exponent,
+    quantize_vector_feinberg,
+)
+
+
+class TestSpec:
+    def test_defaults_match_paper(self):
+        spec = FeinbergSpec()
+        assert spec.exp_bits == 6 and spec.frac_bits == 52
+        assert spec.window == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeinbergSpec(exp_bits=0)
+        with pytest.raises(ValueError):
+            FeinbergSpec(frac_bits=60)
+        with pytest.raises(ValueError):
+            FeinbergSpec(policy="saturate")
+
+
+class TestAnchor:
+    def test_anchor_is_max_exponent(self):
+        assert matrix_anchor_exponent(np.array([0.5, 8.0, -3.0])) == 3
+
+    def test_anchor_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            matrix_anchor_exponent(np.zeros(4))
+
+
+class TestQuantize:
+    def test_in_window_exact_at_52_bits(self):
+        spec = FeinbergSpec()
+        x = np.array([1.0, 2.0 ** -30, -0.75])
+        q = quantize_vector_feinberg(x, anchor=0, spec=spec)
+        assert np.array_equal(q, x)
+
+    def test_above_window_wraps_catastrophically(self):
+        spec = FeinbergSpec(policy="wrap")
+        # anchor -30: window [-93, -30]; value 1.0 (exp 0) wraps mod 64.
+        q = quantize_vector_feinberg(np.array([1.0]), anchor=-30, spec=spec)
+        assert q[0] != 1.0
+        assert 0 < q[0] < 2.0 ** -60  # landed ~64 binades down
+
+    def test_above_window_clamp(self):
+        spec = FeinbergSpec(policy="clamp")
+        q = quantize_vector_feinberg(np.array([2.0 ** 10]), anchor=0, spec=spec)
+        assert q[0] == 1.0  # saturated to window top binade, fraction zeroed
+
+    def test_above_window_flush(self):
+        spec = FeinbergSpec(policy="flush")
+        q = quantize_vector_feinberg(np.array([2.0 ** 10]), anchor=0, spec=spec)
+        assert q[0] == 0.0
+
+    def test_below_window_flushes_in_all_policies(self):
+        for policy in ("wrap", "clamp", "flush"):
+            spec = FeinbergSpec(policy=policy)
+            q = quantize_vector_feinberg(np.array([2.0 ** -70]), anchor=0,
+                                         spec=spec)
+            assert q[0] == 0.0
+
+    def test_zero_passthrough(self):
+        q = quantize_vector_feinberg(np.array([0.0]), anchor=0, spec=FeinbergSpec())
+        assert q[0] == 0.0
+
+    def test_fraction_truncation(self):
+        spec = FeinbergSpec(frac_bits=4)
+        q = quantize_vector_feinberg(np.array([1.0 + 2.0 ** -10]), anchor=0,
+                                     spec=spec)
+        assert q[0] == 1.0
+
+    def test_sign_preserved(self):
+        spec = FeinbergSpec()
+        q = quantize_vector_feinberg(np.array([-1.5, 1.5]), anchor=0, spec=spec)
+        assert q[0] == -1.5 and q[1] == 1.5
+
+    def test_wrap_is_mod_window(self):
+        spec = FeinbergSpec(policy="wrap")
+        # exp 1 above the window top wraps exactly 64 binades down.
+        q = quantize_vector_feinberg(np.array([2.0]), anchor=0, spec=spec)
+        assert q[0] == 2.0 * 2.0 ** -64

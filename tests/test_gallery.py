@@ -1,0 +1,266 @@
+"""Tests for meshes, FEM assembly, and the named generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.gallery.fem import (
+    assemble,
+    element_mass,
+    element_stiffness,
+    shape_q1_hex,
+    shape_q1_quad,
+    shape_serendipity_quad,
+)
+from repro.sparse.gallery.generators import (
+    hex_mass_matrix,
+    minimal_surface_2d,
+    positive_stencil_3d,
+    scatter_permute,
+    smooth_lognormal_field,
+    triangle_coupling_matrix,
+    variable_coefficient_stiffness_2d,
+)
+from repro.sparse.gallery.laplacian import (
+    anisotropic_periodic_2d,
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+)
+from repro.sparse.gallery.meshes import (
+    hex_grid,
+    quad_grid,
+    serendipity_grid,
+    triangle_dual_adjacency,
+)
+from repro.sparse.gallery.wathen import wathen
+from repro.sparse.stats import is_symmetric
+
+
+def spd_check(A, tol_scale=1e-10):
+    """Cheap SPD check: symmetry + positive smallest Ritz values."""
+    assert is_symmetric(A, tol=1e-12)
+    import scipy.sparse.linalg as spla
+
+    lam = spla.eigsh(sp.csr_matrix(A).astype(float), k=1, which="SA",
+                     return_eigenvectors=False, maxiter=5000, tol=1e-6)[0]
+    assert lam > 0, f"lambda_min = {lam}"
+
+
+class TestShapes:
+    def test_partition_of_unity(self):
+        pts = np.linspace(-1, 1, 5)
+        for fn, args in ((shape_q1_quad, (pts, pts)),
+                         (shape_serendipity_quad, (pts, pts)),
+                         (shape_q1_hex, (pts, pts, pts))):
+            N, dN = fn(*args)
+            assert np.allclose(N.sum(axis=1), 1.0)
+            assert np.allclose(dN.sum(axis=2), 0.0)
+
+    def test_kronecker_delta_at_nodes(self):
+        # Q1 quad nodes
+        nodes = np.array([[-1, -1], [1, -1], [1, 1], [-1, 1]], dtype=float)
+        N, _ = shape_q1_quad(nodes[:, 0], nodes[:, 1])
+        assert np.allclose(N, np.eye(4))
+        # serendipity nodes
+        snodes = np.array([[-1, -1], [0, -1], [1, -1], [1, 0],
+                           [1, 1], [0, 1], [-1, 1], [-1, 0]], dtype=float)
+        N, _ = shape_serendipity_quad(snodes[:, 0], snodes[:, 1])
+        assert np.allclose(N, np.eye(8), atol=1e-12)
+
+
+class TestElements:
+    def test_q1_quad_mass_exact(self):
+        # Known closed form: M = (1/9) * [[4,2,1,2],[2,4,2,1],[1,2,4,2],[2,1,2,4]]
+        M = element_mass("q1_quad", order=3)
+        expected = np.array([[4, 2, 1, 2], [2, 4, 2, 1],
+                             [1, 2, 4, 2], [2, 1, 2, 4]]) / 9.0
+        assert np.allclose(M, expected)
+
+    def test_q1_quad_stiffness_exact(self):
+        K = element_stiffness("q1_quad", order=2)
+        expected = np.array([[4, -1, -2, -1], [-1, 4, -1, -2],
+                             [-2, -1, 4, -1], [-1, -2, -1, 4]]) / 6.0
+        assert np.allclose(K, expected)
+
+    def test_mass_matrices_spd(self):
+        for elem in ("q1_quad", "q1_hex", "serendipity_quad"):
+            M = element_mass(elem, order=4)
+            assert np.allclose(M, M.T)
+            assert np.linalg.eigvalsh(M).min() > 0
+
+    def test_serendipity_mass_has_negative_entries(self):
+        # The property driving Feinberg's convergence on wathen (DESIGN.md).
+        M = element_mass("serendipity_quad", order=4)
+        assert M.min() < 0
+
+    def test_stiffness_kernel_is_constants(self):
+        for elem, dim in (("q1_quad", 2), ("q1_hex", 3)):
+            K = element_stiffness(elem, order=3)
+            assert np.allclose(K @ np.ones(K.shape[0]), 0.0, atol=1e-12)
+
+    def test_anisotropic_stiffness(self):
+        K = element_stiffness("q1_quad", order=2, anisotropy=(0.0, 1.0))
+        # Pure d/dy diffusion: 1-D stiffness in y, mass in x.
+        assert np.allclose(K @ np.ones(4), 0.0, atol=1e-12)
+        assert not np.allclose(K, element_stiffness("q1_quad", order=2))
+
+    def test_unknown_element(self):
+        with pytest.raises(KeyError):
+            element_mass("p2_triangle")
+
+
+class TestMeshes:
+    def test_quad_grid_counts(self):
+        n_nodes, conn = quad_grid(3, 2)
+        assert n_nodes == 12 and conn.shape == (6, 4)
+        assert conn.max() < n_nodes
+
+    def test_hex_grid_counts(self):
+        n_nodes, conn = hex_grid(2, 2, 2)
+        assert n_nodes == 27 and conn.shape == (8, 8)
+
+    def test_serendipity_node_count_formula(self):
+        for nx, ny in ((1, 1), (3, 2), (10, 10)):
+            n_nodes, conn = serendipity_grid(nx, ny)
+            assert n_nodes == 3 * nx * ny + 2 * nx + 2 * ny + 1
+            assert conn.max() == n_nodes - 1 or conn.max() < n_nodes
+            assert conn.shape == (nx * ny, 8)
+
+    def test_serendipity_elements_share_edges(self):
+        _, conn = serendipity_grid(2, 1)
+        # Right edge of element 0 == left edge of element 1.
+        assert conn[0][2] == conn[1][0]  # shared corner
+        assert conn[0][3] == conn[1][7]  # shared vertical midpoint
+        assert conn[0][4] == conn[1][6]  # shared top corner
+
+    def test_triangle_adjacency_degree(self):
+        n, u, v = triangle_dual_adjacency(4, 4)
+        assert n == 32
+        deg = np.bincount(np.concatenate((u, v)), minlength=n)
+        assert deg.max() == 3  # interior triangles have 3 neighbours
+        assert deg.min() >= 1
+        assert np.all(u < v)
+
+    def test_assemble_validates(self):
+        n_nodes, conn = quad_grid(2, 2)
+        with pytest.raises(ValueError):
+            assemble(n_nodes, conn, np.eye(3))
+
+
+class TestLaplacians:
+    def test_1d_matrix(self):
+        T = laplacian_1d(3).toarray()
+        assert T.tolist() == [[2, -1, 0], [-1, 2, -1], [0, -1, 2]]
+
+    def test_1d_periodic_rowsums_zero(self):
+        T = laplacian_1d(5, periodic=True)
+        assert np.allclose(T @ np.ones(5), 0.0)
+
+    def test_2d_kron_structure(self):
+        A = laplacian_2d(4, 3)
+        assert A.shape == (12, 12)
+        spd_check(A)
+
+    def test_3d_diag(self):
+        A = laplacian_3d(3)
+        assert np.all(A.diagonal() == 6.0)
+
+    def test_anisotropic_periodic_constant_rowsums(self):
+        A = anisotropic_periodic_2d(8, epsilon=2 ** -5, shift=1e-3)
+        r = A @ np.ones(64)
+        assert np.allclose(r, 1e-3)
+
+    def test_anisotropic_validates(self):
+        with pytest.raises(ValueError):
+            anisotropic_periodic_2d(4, epsilon=0.0)
+
+
+class TestGenerators:
+    def test_smooth_field_positive_and_smooth(self, rng):
+        pts = np.stack([np.linspace(0, 1, 200), np.zeros(200)], axis=1)
+        f = smooth_lognormal_field(pts, sigma=1.0, seed=1)
+        assert np.all(f > 0)
+        # Neighbouring samples differ by far less than the global spread.
+        assert np.abs(np.diff(np.log(f))).max() < 0.2
+
+    def test_hex_mass_positive_entries(self):
+        A = hex_mass_matrix(4, seed=1)
+        assert A.data.min() > 0
+        spd_check(A)
+
+    def test_hex_mass_scale(self):
+        A = hex_mass_matrix(3, seed=1, scale=2.0 ** -30)
+        B = hex_mass_matrix(3, seed=1, scale=1.0)
+        assert np.allclose(A.data, B.data * 2.0 ** -30)
+
+    def test_triangle_coupling_4_nnz_per_row(self):
+        A = triangle_coupling_matrix(8, seed=2)
+        counts = np.diff(A.indptr)
+        assert counts.max() == 4
+        assert A.data.min() > 0
+        spd_check(A)
+
+    def test_triangle_coupling_validates(self):
+        with pytest.raises(ValueError):
+            triangle_coupling_matrix(4, diag=(0.3, 0.9), coupling=(0.05, 0.15))
+
+    def test_variable_coefficient_stiffness(self):
+        A = variable_coefficient_stiffness_2d(8, seed=3)
+        assert A.shape == (49, 49)
+        spd_check(A)
+        assert A.data.min() < 0  # mixed signs
+
+    def test_minimal_surface_kappa(self):
+        from repro.sparse.stats import condition_number
+
+        A = minimal_surface_2d(40, seed=4)
+        spd_check(A)
+        assert 25 < condition_number(A) < 300  # ~81 asymptotic target
+
+    def test_positive_stencil_spd_positive(self):
+        A = positive_stencil_3d(5, seed=5)
+        assert A.data.min() > 0
+        spd_check(A)
+
+    def test_positive_stencil_validates(self):
+        with pytest.raises(ValueError):
+            positive_stencil_3d(4, diag=(0.3, 0.9), coupling=0.065)
+
+    def test_scatter_permute_preserves_spectrum(self):
+        A = laplacian_2d(6)
+        B = scatter_permute(A, fraction=0.7, seed=6)
+        assert np.allclose(np.sort(np.linalg.eigvalsh(A.toarray())),
+                           np.sort(np.linalg.eigvalsh(B.toarray())))
+
+    def test_scatter_permute_increases_blocks(self):
+        from repro.sparse.blocked import BlockedMatrix
+
+        A = laplacian_3d(10)
+        before = BlockedMatrix(A, b=5).n_blocks
+        after = BlockedMatrix(scatter_permute(A, 0.8, seed=7), b=5).n_blocks
+        assert after > before
+
+    def test_scatter_permute_validates(self):
+        with pytest.raises(ValueError):
+            scatter_permute(laplacian_2d(4), fraction=1.5)
+
+
+class TestWathen:
+    def test_dimension_formula(self):
+        A = wathen(5, 4, seed=1)
+        assert A.shape[0] == 3 * 20 + 10 + 8 + 1
+
+    def test_spd_and_mixed_sign(self):
+        A = wathen(8, 8, seed=2)
+        spd_check(A)
+        assert A.data.min() < 0 < A.data.max()
+
+    def test_seed_reproducible(self):
+        A = wathen(4, 4, seed=3)
+        B = wathen(4, 4, seed=3)
+        assert (A != B).nnz == 0
+
+    def test_rho_min_validated(self):
+        with pytest.raises(ValueError):
+            wathen(3, 3, rho_min=1.5)

@@ -1,0 +1,134 @@
+"""Unit tests for IEEE-754 bit manipulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import ieee
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False,
+                           min_value=-1e300, max_value=1e300)
+normal_doubles = finite_doubles.filter(lambda x: x == 0.0 or abs(x) > 1e-300)
+
+
+class TestDecompose:
+    def test_known_values(self):
+        sign, exp, frac = ieee.decompose(np.array([1.0, -2.0, 0.5, 3.0]))
+        assert list(sign) == [0, 1, 0, 0]
+        assert list(exp) == [0, 1, -1, 1]
+        assert frac[0] == 0 and frac[1] == 0
+        # 3.0 = 1.1b * 2^1 -> fraction = 0.1b = top bit set
+        assert frac[3] == 1 << 51
+
+    def test_zero_sentinel(self):
+        _, exp, frac = ieee.decompose(np.array([0.0, -0.0]))
+        assert np.all(exp == ieee.EXP_ZERO)
+        assert np.all(frac == 0)
+
+    def test_subnormals_flush(self):
+        _, exp, frac = ieee.decompose(np.array([5e-324, 1e-310]))
+        assert np.all(exp == ieee.EXP_ZERO)
+        assert np.all(frac == 0)
+
+    def test_rejects_nan_inf(self):
+        with pytest.raises(ValueError):
+            ieee.decompose(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            ieee.decompose(np.array([np.inf]))
+
+    def test_noncontiguous_input(self):
+        x = np.arange(10, dtype=np.float64)[::2] + 1.0
+        _, exp, _ = ieee.decompose(x)
+        assert exp.shape == (5,)
+
+    @given(st.lists(normal_doubles, min_size=1, max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.float64)
+        out = ieee.compose(*ieee.decompose(arr))
+        # -0.0 normalises to +0.0; everything else exact.
+        assert np.array_equal(np.where(arr == 0, 0.0, arr), out)
+
+    def test_exponent_of_matches_frexp(self, rng=np.random.default_rng(3)):
+        x = rng.standard_normal(1000) * np.exp2(rng.uniform(-100, 100, 1000))
+        e = ieee.exponent_of(x)
+        mant, ex = np.frexp(x)
+        assert np.array_equal(e, ex - 1)
+
+
+class TestFractionOps:
+    def test_truncate_keeps_top_bits(self):
+        frac = np.array([(1 << 52) - 1], dtype=np.uint64)
+        out = ieee.truncate_fraction(frac, 4)
+        assert out[0] == (0b1111 << 48)
+
+    def test_truncate_zero_bits(self):
+        frac = np.array([123456789], dtype=np.uint64)
+        assert ieee.truncate_fraction(frac, 0)[0] == 0
+
+    def test_truncate_validates(self):
+        with pytest.raises(ValueError):
+            ieee.truncate_fraction(np.array([0], dtype=np.uint64), 53)
+
+    def test_round_carry(self):
+        # All-ones fraction rounds up and overflows the mantissa.
+        frac = np.array([(1 << 52) - 1], dtype=np.uint64)
+        rounded, carry = ieee.round_fraction(frac, 4)
+        assert carry[0]
+        assert rounded[0] == 0
+
+    def test_round_no_carry(self):
+        frac = np.array([1 << 47], dtype=np.uint64)  # 0.5 ulp at f=4
+        rounded, carry = ieee.round_fraction(frac, 4)
+        assert not carry[0]
+        assert rounded[0] == (1 << 48)  # rounds up into bit 48
+
+    def test_round_full_width_identity(self):
+        frac = np.array([987654321], dtype=np.uint64)
+        rounded, carry = ieee.round_fraction(frac, 52)
+        assert rounded[0] == frac[0] and not carry[0]
+
+
+class TestQuantizeIEEE:
+    def test_full_width_is_identity(self, rng):
+        x = rng.standard_normal(100)
+        assert np.array_equal(ieee.quantize_ieee(x, 11, 52), x)
+
+    def test_fraction_truncation_error_bound(self, rng):
+        x = np.abs(rng.standard_normal(1000)) + 0.1
+        q = ieee.quantize_ieee(x, 11, 20)
+        rel = np.abs(q - x) / x
+        assert np.all(rel < 2.0 ** -20)
+        assert np.all(q <= x)  # truncation rounds magnitude toward zero
+
+    def test_exponent_wrap(self):
+        # exp_bits=6 keeps biased-exponent low bits; 2.0 (biased 1024) wraps
+        # 64 binades down while 1.0 (biased 1023) is preserved.
+        q = ieee.quantize_ieee(np.array([1.0, 2.0]), 6, 52)
+        assert q[0] == 1.0
+        assert q[1] == 2.0 ** -63
+
+    def test_zero_passthrough(self):
+        q = ieee.quantize_ieee(np.array([0.0, 1.5]), 6, 10)
+        assert q[0] == 0.0
+
+    def test_nearest_rounding(self):
+        x = np.array([1.0 + 2.0 ** -21])
+        q = ieee.quantize_ieee(x, 11, 20, rounding="nearest")
+        assert q[0] == 1.0 + 2.0 ** -20
+
+    def test_validates_bits(self):
+        with pytest.raises(ValueError):
+            ieee.quantize_ieee(np.array([1.0]), 0, 52)
+        with pytest.raises(ValueError):
+            ieee.quantize_ieee(np.array([1.0]), 6, 52, rounding="bogus")
+
+    @given(st.lists(st.floats(min_value=0.25, max_value=4.0), min_size=1,
+                    max_size=30), st.integers(1, 52))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, values, frac_bits):
+        x = np.array(values)
+        q1 = ieee.quantize_ieee(x, 11, frac_bits)
+        q2 = ieee.quantize_ieee(q1, 11, frac_bits)
+        assert np.array_equal(q1, q2)

@@ -1,0 +1,74 @@
+"""Tests for row-major vs block-major nonzero layouts (Fig. 7)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.blocked import BlockedMatrix
+from repro.sparse.layout import (
+    block_major_order,
+    layout_report,
+    row_major_order,
+    streaming_run_lengths,
+)
+
+
+def sample_blocked():
+    rng = np.random.RandomState(9)
+    A = sp.random(64, 64, density=0.15, random_state=rng, format="csr")
+    A.data[:] = 1.0
+    return BlockedMatrix(A, b=3)
+
+
+class TestOrders:
+    def test_row_major_is_identity(self):
+        bm = sample_blocked()
+        assert np.array_equal(row_major_order(bm.A), np.arange(bm.nnz))
+
+    def test_block_major_is_permutation(self):
+        bm = sample_blocked()
+        perm = block_major_order(bm, P=2)
+        assert np.array_equal(np.sort(perm), np.arange(bm.nnz))
+
+    def test_block_major_groups_blocks_contiguously(self):
+        bm = sample_blocked()
+        perm = block_major_order(bm, P=1)
+        rows = np.repeat(np.arange(64), np.diff(bm.A.indptr))
+        cols = bm.A.indices
+        bi = (rows[perm] >> 3) * bm.block_grid[1] + (cols[perm] >> 3)
+        # Each block id appears as one contiguous run.
+        changes = np.flatnonzero(np.diff(bi)) + 1
+        seen = bi[np.concatenate(([0], changes))]
+        assert len(seen) == len(set(seen.tolist()))
+
+    def test_P_grouping_orders_block_rows_first(self):
+        bm = sample_blocked()
+        perm = block_major_order(bm, P=4)
+        rows = np.repeat(np.arange(64), np.diff(bm.A.indptr))
+        block_rows = rows[perm] >> 3
+        assert np.all(np.diff(block_rows) >= 0)  # block-rows never go back
+
+    def test_invalid_P(self):
+        with pytest.raises(ValueError):
+            block_major_order(sample_blocked(), P=0)
+
+
+class TestRunLengths:
+    def test_identity_is_one_run(self):
+        runs = streaming_run_lengths(np.arange(100))
+        assert runs.tolist() == [100]
+
+    def test_reversed_is_all_singletons(self):
+        runs = streaming_run_lengths(np.arange(10)[::-1])
+        assert runs.tolist() == [1] * 10
+
+    def test_empty(self):
+        assert streaming_run_lengths(np.array([], dtype=int)).size == 0
+
+
+class TestReport:
+    def test_block_major_storage_streams(self):
+        rep = layout_report(sample_blocked(), P=4)
+        assert rep["mean_run_block_major"] == rep["nnz"]  # single full run
+        assert rep["mean_run_row_major"] <= rep["mean_run_block_major"]
+        assert rep["runs_row_major"] >= rep["runs_block_major"]

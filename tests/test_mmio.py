@@ -1,0 +1,100 @@
+"""Tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.mmio import read_matrix_market, write_matrix_market
+
+
+def roundtrip(A, symmetric=False):
+    buf = io.StringIO()
+    write_matrix_market(buf, A, symmetric=symmetric)
+    buf.seek(0)
+    return read_matrix_market(buf)
+
+
+class TestRoundtrip:
+    def test_general(self, rng):
+        A = sp.random(20, 30, density=0.2,
+                      random_state=np.random.RandomState(1), format="csr")
+        B = roundtrip(A)
+        assert (A != B).nnz == 0
+
+    def test_symmetric(self):
+        from repro.sparse.gallery import laplacian_2d
+
+        A = laplacian_2d(5)
+        B = roundtrip(A, symmetric=True)
+        assert (A != B).nnz == 0
+
+    def test_values_exact(self):
+        # repr-based writing must preserve doubles bit-for-bit.
+        A = sp.csr_matrix(np.array([[1/3, 0], [0, 1e-300]]))
+        B = roundtrip(A)
+        assert np.array_equal(A.toarray(), B.toarray())
+
+    def test_file_path(self, tmp_path):
+        A = sp.csr_matrix(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, A, comment="hello\nworld")
+        B = read_matrix_market(path)
+        assert (A != B).nnz == 0
+
+
+class TestRead:
+    def test_pattern(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        A = read_matrix_market(io.StringIO(text))
+        assert A.toarray().tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_symmetric_expansion(self):
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "2 2 2\n1 1 4.0\n2 1 -1.0\n")
+        A = read_matrix_market(io.StringIO(text))
+        assert A.toarray().tolist() == [[4.0, -1.0], [-1.0, 0.0]]
+
+    def test_comments_skipped(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% a comment\n% another\n1 1 1\n1 1 7.5\n")
+        A = read_matrix_market(io.StringIO(text))
+        assert A[0, 0] == 7.5
+
+    def test_duplicates_summed(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "1 1 2\n1 1 1.0\n1 1 2.0\n")
+        A = read_matrix_market(io.StringIO(text))
+        assert A[0, 0] == 3.0
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO("not a header\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n"))
+
+    def test_out_of_bounds_index(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))
+
+
+class TestWrite:
+    def test_symmetric_requires_symmetry(self):
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            write_matrix_market(io.StringIO(), A, symmetric=True)
+
+    def test_header_line(self):
+        buf = io.StringIO()
+        write_matrix_market(buf, sp.csr_matrix((2, 2)))
+        assert buf.getvalue().splitlines()[0] == \
+            "%%MatrixMarket matrix coordinate real general"

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) on the ReFloat codec invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import ieee
+from repro.formats.refloat import (
+    ReFloatSpec,
+    covering_exponent_base,
+    offset_bounds,
+    quantize_values,
+    quantize_vector,
+)
+
+values_strategy = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e30, max_value=1e30)
+    .filter(lambda v: v == 0.0 or abs(v) > 1e-30),
+    min_size=1, max_size=64,
+)
+bit_strategy = st.tuples(st.integers(1, 5), st.integers(0, 20))
+
+
+@given(values_strategy, bit_strategy)
+@settings(max_examples=150, deadline=None)
+def test_quantize_idempotent(values, bits):
+    e, f = bits
+    x = np.array(values)
+    q1, eb = quantize_values(x, e, f)
+    q2, _ = quantize_values(q1, e, f, eb=eb)
+    assert np.array_equal(q1, q2)
+
+
+@given(values_strategy, bit_strategy)
+@settings(max_examples=150, deadline=None)
+def test_quantize_preserves_sign_and_zero(values, bits):
+    e, f = bits
+    x = np.array(values)
+    q, _ = quantize_values(x, e, f)
+    assert np.all(q[x == 0] == 0)  # exact zeros stay zero
+    # Nonzero outputs keep the input sign (flush may zero tiny inputs).
+    nz = (x != 0) & (q != 0)
+    assert np.all(np.sign(q[nz]) == np.sign(x[nz]))
+
+
+@given(values_strategy, bit_strategy)
+@settings(max_examples=150, deadline=None)
+def test_cover_policy_top_value_error_bound(values, bits):
+    """The block's largest-magnitude value loses only fraction bits."""
+    e, f = bits
+    x = np.array(values)
+    if np.all(x == 0):
+        return
+    q, _ = quantize_values(x, e, f, eb_policy="cover")
+    i = np.argmax(np.abs(x))
+    rel = abs(q[i] - x[i]) / abs(x[i])
+    assert rel < 2.0 ** -f if f > 0 else rel < 1.0
+
+
+@given(values_strategy, bit_strategy)
+@settings(max_examples=150, deadline=None)
+def test_quantize_truncation_magnitude_bound(values, bits):
+    """Flush-mode truncation never increases any magnitude."""
+    e, f = bits
+    x = np.array(values)
+    q, _ = quantize_values(x, e, f, underflow="flush")
+    assert np.all(np.abs(q) <= np.abs(x) + 0.0)
+
+
+@given(st.integers(-500, 500), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_covering_base_window_contains_max(max_exp, e):
+    eb = covering_exponent_base(max_exp, e)
+    lo, hi = offset_bounds(e)
+    assert eb + lo <= max_exp <= eb + hi
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False).filter(
+                    lambda v: v == 0 or abs(v) > 1e-6),
+                min_size=1, max_size=300),
+       st.integers(2, 5), st.integers(2, 12))
+@settings(max_examples=100, deadline=None)
+def test_vector_dac_error_bound(values, ev, fv):
+    """Per segment, |x - xq| <= segment_max * 2^-(2^ev - 1 + fv)."""
+    spec = ReFloatSpec(b=4, e=3, f=3, ev=ev, fv=fv)
+    x = np.array(values)
+    xq, _ = quantize_vector(x, spec)
+    size = spec.block_size
+    bound_exp = (1 << ev) - 1 + fv
+    for s in range(0, x.size, size):
+        seg, segq = x[s:s + size], xq[s:s + size]
+        m = np.max(np.abs(seg))
+        if m == 0:
+            assert np.all(segq == 0)
+            continue
+        # ulp = 2^(top_exponent - bound_exp) <= 2 * m * 2^-bound_exp
+        assert np.max(np.abs(seg - segq)) <= 2.0 * m * 2.0 ** -bound_exp
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1000.0), min_size=1,
+                max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_vector_dac_idempotent(values):
+    spec = ReFloatSpec(b=4, e=3, f=3, ev=3, fv=8)
+    x = np.array(values)
+    q1, _ = quantize_vector(x, spec)
+    q2, _ = quantize_vector(q1, spec)
+    assert np.array_equal(q1, q2)

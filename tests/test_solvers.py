@@ -1,0 +1,227 @@
+"""Tests for the Krylov and stationary solvers (exact operator)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers import (
+    ConvergenceCriterion,
+    MatrixOperator,
+    SolverResult,
+    bicgstab,
+    cg,
+    gmres,
+    ilu_preconditioner,
+    iterative_refinement,
+    jacobi,
+    jacobi_preconditioner,
+    richardson,
+    ssor_preconditioner,
+)
+from repro.sparse.gallery import laplacian_2d, wathen
+
+
+def system(n=10):
+    A = laplacian_2d(n)
+    x_true = np.ones(A.shape[0])
+    return A, A @ x_true, x_true
+
+
+CRIT = ConvergenceCriterion(tol=1e-10, max_iterations=5000)
+
+
+class TestCG:
+    def test_solves_spd(self):
+        A, b, x_true = system()
+        res = cg(A, b, criterion=CRIT)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-7
+        assert res.matvecs == res.iterations
+
+    def test_residual_history_matches_true_residual(self):
+        A, b, _ = system(6)
+        res = cg(A, b, criterion=CRIT)
+        true_res = np.linalg.norm(b - A @ res.x)
+        assert abs(true_res - res.residual_norm) < 1e-9 * np.linalg.norm(b)
+        assert res.residual_history[0] == pytest.approx(np.linalg.norm(b))
+        assert len(res.residual_history) == res.iterations + 1
+
+    def test_exact_in_n_iterations(self):
+        # CG terminates in at most n steps in exact arithmetic.
+        rng = np.random.default_rng(1)
+        M = rng.standard_normal((12, 12))
+        A = sp.csr_matrix(M @ M.T + 12 * np.eye(12))
+        b = rng.standard_normal(12)
+        res = cg(A, b, criterion=ConvergenceCriterion(tol=1e-12))
+        assert res.converged and res.iterations <= 12
+
+    def test_x0_respected(self):
+        A, b, x_true = system()
+        res = cg(A, b, x0=x_true.copy(), criterion=CRIT)
+        assert res.converged and res.iterations == 0
+
+    def test_zero_rhs(self):
+        A, _, _ = system()
+        res = cg(A, np.zeros(A.shape[0]))
+        assert res.converged and res.iterations == 0
+        assert np.all(res.x == 0)
+
+    def test_callback_invoked(self):
+        A, b, _ = system(5)
+        seen = []
+        cg(A, b, criterion=CRIT, callback=lambda k, x, r: seen.append((k, r)))
+        assert seen and seen[0][0] == 1
+        assert all(r >= 0 for _, r in seen)
+
+    def test_max_iterations_respected(self):
+        A, b, _ = system()
+        res = cg(A, b, criterion=ConvergenceCriterion(tol=1e-30,
+                                                      max_iterations=3))
+        assert not res.converged and res.iterations == 3
+
+    def test_dimension_mismatch(self):
+        A, _, _ = system()
+        with pytest.raises(ValueError):
+            cg(A, np.ones(3))
+
+    def test_nonfinite_rhs(self):
+        A, b, _ = system()
+        b[0] = np.inf
+        with pytest.raises(ValueError):
+            cg(A, b)
+
+    def test_relative_vs_absolute_tolerance(self):
+        A, b, _ = system()
+        rel = cg(A, b, criterion=ConvergenceCriterion(tol=1e-6, relative=True))
+        absb = cg(A, b, criterion=ConvergenceCriterion(tol=1e-6, relative=False))
+        assert absb.residual_norm <= 1e-6
+        assert rel.residual_norm <= 1e-6 * np.linalg.norm(b)
+
+
+class TestBiCGSTAB:
+    def test_solves_spd(self):
+        A, b, x_true = system()
+        res = bicgstab(A, b, criterion=CRIT)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-6
+
+    def test_solves_nonsymmetric(self):
+        rng = np.random.default_rng(2)
+        n = 40
+        A = sp.csr_matrix(np.eye(n) * 4 + 0.5 * rng.standard_normal((n, n)) / np.sqrt(n))
+        x_true = rng.standard_normal(n)
+        res = bicgstab(A, A @ x_true, criterion=CRIT)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-6
+
+    def test_two_matvecs_per_iteration(self):
+        A, b, _ = system()
+        res = bicgstab(A, b, criterion=CRIT)
+        assert res.matvecs <= 2 * res.iterations + 1
+
+    def test_zero_rhs(self):
+        A, _, _ = system()
+        res = bicgstab(A, np.zeros(A.shape[0]))
+        assert res.converged and res.iterations == 0
+
+
+class TestGMRES:
+    def test_solves_spd(self):
+        A, b, x_true = system(8)
+        res = gmres(A, b, criterion=CRIT, restart=30)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-6
+
+    def test_solves_nonsymmetric(self):
+        rng = np.random.default_rng(3)
+        n = 30
+        A = sp.csr_matrix(np.eye(n) * 3 + rng.standard_normal((n, n)) / np.sqrt(n))
+        x_true = rng.standard_normal(n)
+        res = gmres(A, A @ x_true, criterion=CRIT, restart=15)
+        assert res.converged
+
+    def test_restart_smaller_than_dimension(self):
+        A, b, x_true = system(8)
+        res = gmres(A, b, criterion=CRIT, restart=5)
+        assert res.converged
+
+    def test_invalid_restart(self):
+        A, b, _ = system(4)
+        with pytest.raises(ValueError):
+            gmres(A, b, restart=0)
+
+
+class TestStationary:
+    def test_jacobi_on_diagonally_dominant(self):
+        A, b, x_true = system(6)
+        res = jacobi(A, b, criterion=ConvergenceCriterion(tol=1e-8,
+                                                          max_iterations=20000),
+                     damping=0.9)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-4
+
+    def test_jacobi_rejects_zero_diagonal(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            jacobi(A, np.ones(2))
+
+    def test_richardson_converges_with_valid_omega(self):
+        A, b, x_true = system(5)
+        res = richardson(A, b, omega=0.2,
+                         criterion=ConvergenceCriterion(tol=1e-8,
+                                                        max_iterations=20000))
+        assert res.converged
+
+    def test_richardson_validates_omega(self):
+        A, b, _ = system(4)
+        with pytest.raises(ValueError):
+            richardson(A, b, omega=-1.0)
+
+
+class TestPreconditioners:
+    def test_jacobi_precond_reduces_iterations(self):
+        A = wathen(8, 8, seed=4)
+        b = A @ np.ones(A.shape[0])
+        plain = cg(A, b, criterion=CRIT)
+        pre = cg(A, b, criterion=CRIT,
+                 preconditioner=jacobi_preconditioner(A))
+        assert pre.converged and plain.converged
+        assert pre.iterations < plain.iterations
+
+    def test_ssor_precond(self):
+        A = wathen(8, 8, seed=11)
+        b = A @ np.ones(A.shape[0])
+        pre = cg(A, b, criterion=CRIT, preconditioner=ssor_preconditioner(A))
+        plain = cg(A, b, criterion=CRIT)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_ssor_validates_omega(self):
+        A, _, _ = system(4)
+        with pytest.raises(ValueError):
+            ssor_preconditioner(A, omega=2.5)
+
+    def test_ilu_precond(self):
+        A, b, _ = system(8)
+        pre = cg(A, b, criterion=CRIT, preconditioner=ilu_preconditioner(A))
+        assert pre.converged
+
+
+class TestIterativeRefinement:
+    def test_refines_quantized_inner_solver(self):
+        from repro.operators import ReFloatOperator
+        from repro.formats import ReFloatSpec
+
+        A = laplacian_2d(12)
+        b = A @ np.ones(A.shape[0])
+        inner = ReFloatOperator(A, ReFloatSpec(b=5, e=3, f=3, ev=3, fv=8))
+        out = iterative_refinement(A, inner, b, outer_tol=1e-12,
+                                   inner_tol=1e-6)
+        assert out.converged
+        assert out.residual_norm <= 1e-12 * np.linalg.norm(b)
+        assert out.outer_iterations >= 2  # genuinely needed refinement
+
+    def test_zero_rhs(self):
+        A = laplacian_2d(4)
+        out = iterative_refinement(A, A, np.zeros(A.shape[0]))
+        assert out.converged and out.outer_iterations == 0

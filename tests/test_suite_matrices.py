@@ -1,0 +1,87 @@
+"""Tests for the 12-matrix paper suite (Table V analogs)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.blocked import BlockedMatrix
+from repro.sparse.gallery.suite import (
+    PAPER_ORDER,
+    PAPER_SUITE,
+    build_matrix,
+    resolve_scale,
+    suite_ids,
+)
+from repro.sparse.stats import is_symmetric, nnz_per_row
+
+
+class TestSuiteStructure:
+    def test_twelve_matrices_in_paper_order(self):
+        assert suite_ids() == PAPER_ORDER
+        assert len(PAPER_SUITE) == 12
+
+    def test_feinberg_nc_set_is_the_mass_matrices(self):
+        nc = {sid for sid, s in PAPER_SUITE.items() if not s.feinberg_converges}
+        assert nc == {353, 354, 355, 2261, 2259, 845}
+        for sid in nc:
+            assert PAPER_SUITE[sid].kind == "mass"
+
+    def test_fv_overrides(self):
+        assert PAPER_SUITE[1288].fv_override == 16
+        assert PAPER_SUITE[1848].fv_override == 16
+        assert PAPER_SUITE[353].fv_override is None
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            build_matrix(999)
+
+    def test_resolve_scale(self, monkeypatch):
+        assert resolve_scale("test") == "test"
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert resolve_scale(None) == "default"
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert resolve_scale(None) == "paper"
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+
+@pytest.mark.parametrize("sid", PAPER_ORDER)
+class TestEachMatrix:
+    def test_symmetric_and_structured(self, sid):
+        A = build_matrix(sid, "test")
+        assert A.shape[0] == A.shape[1]
+        assert is_symmetric(A, tol=1e-12)
+        assert np.all(np.isfinite(A.data))
+        assert A.diagonal().min() > 0
+
+    def test_nnz_per_row_matches_class(self, sid):
+        A = build_matrix(sid, "test")
+        ours = nnz_per_row(A)
+        paper = PAPER_SUITE[sid].paper_nnz_per_row
+        # Same structural class: within ~2.5x at tiny scale (boundary effects).
+        assert paper / 2.5 < ours < paper * 2.5
+
+    def test_reproducible(self, sid):
+        A = build_matrix(sid, "test")
+        B = build_matrix(sid, "test")
+        assert (A != B).nnz == 0
+
+    def test_mass_matrices_all_positive(self, sid):
+        A = build_matrix(sid, "test")
+        if PAPER_SUITE[sid].kind == "mass":
+            assert A.data.min() > 0
+        elif PAPER_SUITE[sid].kind in ("stiffness", "wathen"):
+            assert A.data.min() < 0
+
+    def test_locality_within_refloat_window(self, sid):
+        # The DESIGN.md requirement: per-block exponent range fits e=3.
+        A = build_matrix(sid, "test")
+        assert BlockedMatrix(A, b=7).locality_bits() <= 4
+
+
+class TestPaperScaleRows:
+    @pytest.mark.parametrize("sid,expected", [(1288, 30401), (1289, 36441),
+                                              (1848, 65025)])
+    def test_exact_paper_dimensions(self, sid, expected):
+        # These generators hit the paper's row counts exactly at paper scale.
+        spec = PAPER_SUITE[sid]
+        assert spec.paper_rows == expected
