@@ -5,6 +5,17 @@ deterministic end-to-end computations, so they run pedantically (1 round).
 Set ``REPRO_BENCH_SCALE`` to ``test`` (fast, default), ``default`` (quarter
 scale, minutes) or ``paper`` (paper-size matrices) to choose the matrix
 scale; run with ``-s`` to see the regenerated tables.
+
+The kernel *microbenchmarks* (``test_kernels.py``) carry the ``bench``
+marker and are deselected by the default pytest invocation (``pytest.ini``
+adds ``-m "not bench"``), keeping tier-1 runs fast.  Run them and refresh
+the committed perf snapshot with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernels.py -m bench \
+        --benchmark-json=BENCH_kernels.json -q
+
+``BENCH_kernels_seed.json`` preserves the seed-commit numbers the current
+snapshot's ``seed_baseline`` section is computed against.
 """
 
 import os

@@ -2,16 +2,28 @@
 
 These are genuine pytest-benchmark measurements (not one-shot experiment
 regenerations): the ReFloat conversion pipeline, the vector converter, the
-quantised SpMV, and one CG step on each platform.
+quantised SpMV, and the crossbar engines.
+
+All tests here carry the ``bench`` marker and are deselected by the default
+pytest invocation (see ``pytest.ini``).  To run them and record the
+machine-readable perf trajectory::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernels.py -m bench \
+        --benchmark-json=BENCH_kernels.json -q
+
+``BENCH_kernels.json`` at the repo root is the committed per-PR snapshot.
 """
 
 import numpy as np
 import pytest
 
-from repro.formats import DEFAULT_SPEC, quantize_values, quantize_vector
+from repro.formats import DEFAULT_SPEC, ReFloatSpec, quantize_values, quantize_vector
+from repro.formats.refloat import vector_converter_plan
 from repro.operators import ExactOperator, FeinbergOperator, ReFloatOperator
 from repro.sparse import BlockedMatrix
 from repro.sparse.gallery import build_matrix
+
+pytestmark = pytest.mark.bench
 
 
 @pytest.fixture(scope="module")
@@ -66,8 +78,14 @@ def test_bench_spmv_feinberg(benchmark, matrix, vector):
     assert y.shape == vector.shape
 
 
+def test_bench_vector_converter_planned(benchmark, vector):
+    """The zero-allocation plan path (what ``ReFloatOperator.matvec`` uses)."""
+    plan = vector_converter_plan(vector.size, DEFAULT_SPEC)
+    out, _ = benchmark(plan.convert, vector)
+    assert out.shape == vector.shape
+
+
 def test_bench_crossbar_block_mvm(benchmark):
-    from repro.formats import ReFloatSpec
     from repro.hardware import ProcessingEngine
 
     rng = np.random.default_rng(2)
@@ -77,3 +95,16 @@ def test_bench_crossbar_block_mvm(benchmark):
     engine = ProcessingEngine(block, spec)
     y = benchmark(engine.multiply, seg)
     assert y.shape == (16,)
+
+
+def test_bench_blocked_engine_mvm(benchmark, matrix):
+    """All occupied blocks of a suite matrix in one vectorised engine pass."""
+    from repro.hardware import BlockedEngine
+
+    rng = np.random.default_rng(3)
+    spec = ReFloatSpec(b=4, e=3, f=3, ev=3, fv=8)
+    blocked = BlockedMatrix(matrix, 4)
+    engine = BlockedEngine(blocked, spec)
+    x = rng.standard_normal(matrix.shape[0])
+    y = benchmark(engine.multiply, x)
+    assert y.shape == (matrix.shape[1],)

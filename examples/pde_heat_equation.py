@@ -51,9 +51,10 @@ def main() -> None:
     # f = 11 fraction bits.  ReFloat(7,4,11)(3,16) still needs only 112
     # crossbars / 52 cycles per engine (vs 8404 / 4201 for FP64).
     spec = ReFloatSpec(b=7, e=4, f=11, ev=3, fv=16)
-    rf_op = ReFloatOperator(A, spec)  # matrix written to crossbars once
+    blocked = BlockedMatrix(A, b=7)
+    rf_op = ReFloatOperator(A, spec, blocked=blocked)  # written to crossbars once
 
-    blocks = BlockedMatrix(A, b=7).n_blocks
+    blocks = blocked.n_blocks
     t_rf = SolverTimingModel(MappingPlan.for_refloat(blocks, spec))
     t_gpu = GPUSolverModel.cg()
 

@@ -30,17 +30,19 @@ def main() -> None:
     criterion = ConvergenceCriterion(tol=1e-8, max_iterations=5000)
     print(f"system: wathen(40,40), n={n}, nnz={A.nnz}")
 
-    # 2. Solve on three platforms — only the SpMV operator changes.
+    # 2. Solve on three platforms — only the SpMV operator changes.  One
+    #    partition is shared by the operators and the mapping accounting.
+    blocked = BlockedMatrix(A, b=7)
     platforms = {
         "FP64 (GPU)": ExactOperator(A),
-        "ReFloat(7,3,3)(3,8)": ReFloatOperator(A, DEFAULT_SPEC),
-        "Feinberg [32]": FeinbergOperator(A),
+        "ReFloat(7,3,3)(3,8)": ReFloatOperator(A, DEFAULT_SPEC, blocked=blocked),
+        "Feinberg [32]": FeinbergOperator(A, blocked=blocked),
     }
     results = {name: cg(op, b, criterion=criterion)
                for name, op in platforms.items()}
 
     # 3. Attach the hardware timing models.
-    blocks = BlockedMatrix(A, b=7).n_blocks
+    blocks = blocked.n_blocks
     gpu = GPUSolverModel.cg()
     t_rf = SolverTimingModel(MappingPlan.for_refloat(blocks, DEFAULT_SPEC))
     t_fb = SolverTimingModel(MappingPlan.for_feinberg(blocks))

@@ -12,11 +12,34 @@ Platforms (the Fig. 8 legend):
 * ``feinberg``     — the [32] functional model (vector window flaw); its own
                      iteration count (or NC) with [32] timing;
 * ``refloat``      — ReFloat operator, its own iterations, ReFloat timing.
+
+Hot-path architecture
+---------------------
+Two layers of in-process caching plus a thread fan-out keep full-suite
+regenerations fast:
+
+* a *matrix asset* cache keyed ``(sid, scale)`` holds the built matrix, its
+  right-hand side, one shared :class:`BlockedMatrix` partition and the
+  constructed platform operators — so the cg and bicgstab sweeps (and any
+  experiment revisiting a matrix) stop re-partitioning and re-quantising
+  identical matrices;
+* a *run* cache keyed ``(scale, solver)`` memoises whole-suite sweeps;
+* :func:`run_suite` fans the 12 matrices out over a thread pool.
+  ``REPRO_SUITE_WORKERS`` overrides the worker count; ``1`` forces the
+  serial path.  Results are deterministic and identical to serial execution
+  — operators are effectively immutable and the vector-converter scratch
+  buffers are thread-local.  The fan-out pays off at ``default``/``paper``
+  scale, where the SpMV kernels are large enough to release the GIL; at
+  ``test`` scale the tiny per-op kernels keep it roughly cost-neutral
+  (see ROADMAP: process-pool fan-out is the next step for paper-scale).
 """
 
 from __future__ import annotations
 
 import math
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -36,8 +59,10 @@ __all__ = [
     "SOLVERS",
     "MatrixRun",
     "default_spec_for",
+    "matrix_assets",
     "run_matrix",
     "run_suite",
+    "clear_run_caches",
     "geometric_mean",
 ]
 
@@ -50,6 +75,80 @@ _SOLVER_SHAPE = {"cg": (1, 6), "bicgstab": (2, 12)}
 
 #: In-process cache of full-suite runs, keyed (scale, solver).
 _CACHE: Dict[tuple, Dict[int, "MatrixRun"]] = {}
+
+#: In-process cache of per-matrix assets, keyed (sid, scale).
+_ASSETS: Dict[tuple, "MatrixAssets"] = {}
+
+_CACHE_LOCK = threading.Lock()
+
+
+@dataclass
+class MatrixAssets:
+    """Everything about one (matrix, scale) pair that is solver-independent.
+
+    Built once and shared by every platform/solver sweep: the matrix, the
+    paper right-hand side ``A @ 1``, a single :class:`BlockedMatrix`
+    partition (handed to the operators so nothing re-partitions), and the
+    constructed operators themselves.  All of it is read-only after
+    construction, so sharing across runner threads is safe.
+    """
+
+    sid: int
+    scale: str
+    A: object
+    b: np.ndarray
+    blocked: BlockedMatrix
+    spec: ReFloatSpec
+    exact_op: ExactOperator
+    refloat_op: ReFloatOperator
+    feinberg_ops: Dict[FeinbergSpec, FeinbergOperator] = field(default_factory=dict)
+
+    def feinberg_op(self, spec: FeinbergSpec) -> FeinbergOperator:
+        with _CACHE_LOCK:
+            op = self.feinberg_ops.get(spec)
+        if op is None:
+            op = FeinbergOperator(None, spec, blocked=self.blocked)
+            with _CACHE_LOCK:
+                op = self.feinberg_ops.setdefault(spec, op)
+        return op
+
+
+def matrix_assets(sid: int, scale: str) -> MatrixAssets:
+    """Build (or fetch) the shared per-matrix assets for ``(sid, scale)``."""
+    key = (sid, scale)
+    with _CACHE_LOCK:
+        cached = _ASSETS.get(key)
+    if cached is not None:
+        return cached
+    info = PAPER_SUITE[sid]
+    A = info.matrix(scale)
+    blocked = BlockedMatrix(A, b=7)
+    spec = default_spec_for(sid)
+    assets = MatrixAssets(
+        sid=sid, scale=scale, A=A, b=A @ np.ones(A.shape[0]),
+        blocked=blocked, spec=spec,
+        exact_op=ExactOperator(A),
+        refloat_op=ReFloatOperator(A, spec, blocked=blocked),
+    )
+    with _CACHE_LOCK:
+        # Another thread may have raced us; keep exactly one copy.
+        assets = _ASSETS.setdefault(key, assets)
+    return assets
+
+
+def clear_run_caches() -> None:
+    """Drop the in-process caches (tests and memory-sensitive callers).
+
+    Clears the run and asset caches here plus the vector-converter plan
+    cache, which pins O(n) index/scratch state per ``(n, spec)`` pair the
+    operators have touched.
+    """
+    from repro.formats.refloat import vector_converter_plan
+
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _ASSETS.clear()
+    vector_converter_plan.cache_clear()
 
 
 def default_spec_for(sid: int) -> ReFloatSpec:
@@ -86,7 +185,12 @@ class MatrixRun:
 def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
                criterion: Optional[ConvergenceCriterion] = None,
                feinberg_spec: FeinbergSpec = FeinbergSpec()) -> MatrixRun:
-    """Solve one suite matrix on all four platforms and attach model times."""
+    """Solve one suite matrix on all four platforms and attach model times.
+
+    Matrix construction, partitioning and operator quantisation come from
+    the shared :func:`matrix_assets` cache — the solve loops are the only
+    per-call work.
+    """
     if solver not in SOLVERS:
         raise KeyError(f"solver must be one of {sorted(SOLVERS)}")
     scale = resolve_scale(scale)
@@ -95,19 +199,18 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
     spmvs, vops = _SOLVER_SHAPE[solver]
 
     info = PAPER_SUITE[sid]
-    A = info.matrix(scale)
+    assets = matrix_assets(sid, scale)
+    A, b, blocked, spec = assets.A, assets.b, assets.blocked, assets.spec
     n = A.shape[0]
-    b = A @ np.ones(n)
-    blocked = BlockedMatrix(A, b=7)
-    spec = default_spec_for(sid)
 
     run = MatrixRun(sid=sid, name=info.name, solver=solver, n_rows=n,
                     nnz=int(A.nnz), n_blocks=blocked.n_blocks)
 
-    run.results["gpu"] = solve(ExactOperator(A), b, criterion=crit)
-    run.results["feinberg"] = solve(FeinbergOperator(A, feinberg_spec), b, criterion=crit)
+    run.results["gpu"] = solve(assets.exact_op, b, criterion=crit)
+    run.results["feinberg"] = solve(assets.feinberg_op(feinberg_spec), b,
+                                    criterion=crit)
     run.results["feinberg_fc"] = run.results["gpu"]  # identical numerics
-    run.results["refloat"] = solve(ReFloatOperator(A, spec), b, criterion=crit)
+    run.results["refloat"] = solve(assets.refloat_op, b, criterion=crit)
 
     # --- timing models -------------------------------------------------
     gpu_model = GPUSolverModel.cg() if solver == "cg" else GPUSolverModel.bicgstab()
@@ -138,15 +241,47 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
     return run
 
 
+def _suite_workers(n_tasks: int) -> int:
+    env = os.environ.get("REPRO_SUITE_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SUITE_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return max(1, min(n_tasks, os.cpu_count() or 1))
+
+
 def run_suite(solver: str, scale: Optional[str] = None,
-              use_cache: bool = True) -> Dict[int, MatrixRun]:
-    """Run (or fetch) the full 12-matrix evaluation for one solver."""
+              use_cache: bool = True,
+              max_workers: Optional[int] = None) -> Dict[int, MatrixRun]:
+    """Run (or fetch) the full 12-matrix evaluation for one solver.
+
+    The per-matrix runs are independent, so they fan out over a thread pool
+    (``max_workers`` or ``REPRO_SUITE_WORKERS``; default: one worker per
+    matrix up to the CPU count).  Results are bit-identical to serial
+    execution and returned in Table V order.
+    """
     scale = resolve_scale(scale)
     key = (scale, solver)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    runs = {sid: run_matrix(sid, solver, scale) for sid in suite_ids()}
-    _CACHE[key] = runs
+    if use_cache:
+        with _CACHE_LOCK:
+            cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+    ids = suite_ids()
+    workers = max_workers if max_workers is not None else _suite_workers(len(ids))
+    if workers <= 1:
+        runs = {sid: run_matrix(sid, solver, scale) for sid in ids}
+    else:
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="suite") as pool:
+            futures = {sid: pool.submit(run_matrix, sid, solver, scale)
+                       for sid in ids}
+            runs = {sid: futures[sid].result() for sid in ids}
+    with _CACHE_LOCK:
+        _CACHE[key] = runs
     return runs
 
 

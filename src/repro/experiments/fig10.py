@@ -30,15 +30,18 @@ def collect(scale: Optional[str] = None, sid: int = 355,
     spec = default_spec_for(sid)
     crit = ConvergenceCriterion(tol=1e-8, max_iterations=max_iterations)
 
-    blocks = BlockedMatrix(A, b=7).n_blocks
-    plan = MappingPlan.for_refloat(blocks, spec)
+    # One partition shared by the mapping accounting and every noisy
+    # operator of the sweep (the sweep changes sigma, never the blocks).
+    blocked = BlockedMatrix(A, b=7)
+    plan = MappingPlan.for_refloat(blocked.n_blocks, spec)
     timing = SolverTimingModel(plan, spmvs_per_iteration=1,
                                vector_ops_per_iteration=6)
     gpu = GPUSolverModel.cg()
 
     out = []
     for sigma in NOISE_SWEEP:
-        op = NoisyReFloatOperator(A, spec, sigma=sigma, seed=seed)
+        op = NoisyReFloatOperator(A, spec, sigma=sigma, seed=seed,
+                                  blocked=blocked)
         res = cg(op, b, criterion=crit)
         entry = {"sigma": sigma, "converged": res.converged,
                  "iterations": res.iterations if res.converged else None}

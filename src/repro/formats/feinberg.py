@@ -75,12 +75,11 @@ def matrix_anchor_exponent(matrix_values) -> int:
     [32] aligns fraction slices against the largest exponent of the mapped
     (sub)matrix; the vector fixed-point window inherits that anchor.
     """
-    values = np.asarray(matrix_values, dtype=np.float64)
-    _, exp, _ = ieee.decompose(values)
-    exp = exp[exp != ieee.EXP_ZERO]
-    if exp.size == 0:
+    field = ieee.exponent_field(matrix_values)
+    nz = field[field != 0]
+    if nz.size == 0:
         raise ValueError("matrix has no nonzero values")
-    return int(exp.max())
+    return int(nz.max()) - ieee.EXP_BIAS
 
 
 def quantize_vector_feinberg(x, anchor, spec: FeinbergSpec) -> np.ndarray:

@@ -35,6 +35,7 @@ __all__ = [
     "decompose",
     "compose",
     "exponent_of",
+    "exponent_field",
     "truncate_fraction",
     "round_fraction",
     "quantize_ieee",
@@ -55,10 +56,15 @@ _FRAC_MASK = np.uint64((1 << FRAC_BITS) - 1)
 _EXP_MASK = np.uint64(0x7FF)
 
 
+#: Single source of the non-finite rejection message (decompose,
+#: exponent_field, and the vector-converter fast path all raise it).
+NONFINITE_MSG = "decompose/quantize requires finite values (no inf/nan)"
+
+
 def _as_float_array(x) -> np.ndarray:
     arr = np.asarray(x, dtype=np.float64)
     if not np.all(np.isfinite(arr)):
-        raise ValueError("decompose/quantize requires finite values (no inf/nan)")
+        raise ValueError(NONFINITE_MSG)
     return arr
 
 
@@ -121,6 +127,27 @@ def exponent_of(x) -> np.ndarray:
     """Unbiased exponent (``floor(log2|x|)``) of each value; EXP_ZERO for 0."""
     _, e, _ = decompose(x)
     return e
+
+
+def exponent_field(x, validate: bool = True) -> np.ndarray:
+    """The raw *biased* 11-bit exponent field of each float64, as uint64.
+
+    The cheap sibling of :func:`decompose` for exponent-only consumers (the
+    vector-converter hot path): no sign/fraction extraction and no separate
+    float finiteness pass.  Zeros *and subnormals* report field 0 (matching
+    :func:`decompose`'s flush-to-zero convention: ``field == 0`` iff
+    ``decompose`` reports :data:`EXP_ZERO`); normal values report
+    ``unbiased + EXP_BIAS``.  With ``validate`` (the default) inf/NaN
+    (field 2047) raise ``ValueError`` like :func:`decompose`; hot-path
+    callers that already reduce the fields may pass ``validate=False`` and
+    test their reduction against 2047 instead, saving the extra pass.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    bits = arr.view(np.uint64) if arr.flags.c_contiguous else np.ascontiguousarray(arr).view(np.uint64)
+    field = (bits >> np.uint64(FRAC_BITS)) & _EXP_MASK
+    if validate and np.any(field == 0x7FF):
+        raise ValueError(NONFINITE_MSG)
+    return field
 
 
 def truncate_fraction(fraction, f: int) -> np.ndarray:

@@ -14,11 +14,34 @@ and their own base ``ebv`` (Section V-B's vector converter).
 
 This module implements the scalar/array codec; the sparse-block machinery that
 applies it per matrix block lives in :mod:`repro.sparse.blocked`.
+
+Hot-path architecture
+---------------------
+The vector converter runs once per solver iteration, so it is the hottest
+format kernel in the package.  Two mechanisms keep it allocation- and
+redundancy-free:
+
+* segment reductions use ``np.maximum.reduceat`` / ``np.logical_or.reduceat``
+  over the precomputed contiguous segment boundaries (segments of a vector
+  are contiguous runs of ``2^b`` elements) instead of ``np.ufunc.at``
+  scatters, which are an order of magnitude slower;
+* :class:`VectorConverterPlan` precomputes, once per ``(n, spec)`` pair,
+  everything :func:`quantize_vector` would otherwise rebuild per call —
+  segment ids, reduceat boundaries, and reusable per-thread output buffers —
+  and is cached process-wide by :func:`vector_converter_plan`.  Plan-backed
+  callers (``ReFloatOperator.matvec``, the processing engines) perform no
+  avoidable allocations per conversion.
+
+:func:`quantize_vector_reference` keeps the original straight-line
+implementation; the property tests assert the plan path is bit-identical.
 """
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
@@ -30,6 +53,8 @@ __all__ = [
     "ReFloatSpec",
     "DEFAULT_SPEC",
     "EncodedBlock",
+    "VectorConverterPlan",
+    "vector_converter_plan",
     "optimal_exponent_base",
     "covering_exponent_base",
     "exponent_loss",
@@ -38,6 +63,7 @@ __all__ = [
     "encode_values",
     "decode_values",
     "quantize_vector",
+    "quantize_vector_reference",
     "quantize_vector_storage",
     "vector_segment_bases",
 ]
@@ -347,34 +373,42 @@ def vector_segment_bases(x, b: int, ev: Optional[int] = None,
     segment's window at its largest exponent; ``"mean"`` applies Eq. 5 per
     segment.  Segments with no nonzero entries get base 0.
 
+    Segments are contiguous, so all per-segment reductions run as
+    ``np.ufunc.reduceat`` over the segment start offsets — much faster than
+    the ``np.maximum.at`` scatter this function used to perform.
+
     Returns an int32 array of length ``ceil(len(x) / 2^b)``.
     """
     x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return np.zeros(0, dtype=np.int32)
     size = 1 << b
-    nseg = -(-x.size // size)
+    starts = np.arange(0, x.size, size, dtype=np.intp)
     _, exp, _ = ieee.decompose(x)
     nonzero = exp != ieee.EXP_ZERO
-    seg_ids = np.arange(x.size) >> b
-    counts = np.bincount(seg_ids, weights=nonzero.astype(np.float64), minlength=nseg)
+    counts = np.add.reduceat(nonzero.astype(np.int64), starts)
     if eb_policy == "cover":
         if ev is None:
             raise ValueError("eb_policy='cover' requires ev")
-        # Segment maxima via a masked max (EXP_ZERO sentinel is very negative).
-        maxima = np.full(nseg, np.iinfo(np.int32).min, dtype=np.int64)
-        np.maximum.at(maxima, seg_ids, exp.astype(np.int64))
+        # Segment maxima (the EXP_ZERO sentinel is far below any real
+        # exponent, so zeros never win the max of a nonempty segment).
+        maxima = np.maximum.reduceat(exp.astype(np.int64), starts)
         bases = maxima - ((1 << (ev - 1)) - 1 if ev > 0 else 0)
         return np.where(counts > 0, bases, 0).astype(np.int32)
     if eb_policy != "mean":
         raise ValueError(f"eb_policy must be 'cover' or 'mean', got {eb_policy!r}")
-    sums = np.bincount(seg_ids, weights=np.where(nonzero, exp, 0).astype(np.float64),
-                       minlength=nseg)
+    sums = np.add.reduceat(np.where(nonzero, exp, 0).astype(np.float64), starts)
     with np.errstate(invalid="ignore", divide="ignore"):
         means = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
     return np.floor(means + 0.5).astype(np.int32)
 
 
-def quantize_vector(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
-    """Quantise a vector segment-wise through the DAC path (vector converter).
+def quantize_vector_reference(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Straight-line vector converter (the original, unplanned implementation).
+
+    Kept verbatim as the ground truth the plan-backed fast path of
+    :class:`VectorConverterPlan` is property-tested against (bit identity).
+    Use :func:`quantize_vector` in production code.
 
     Hardware semantics (Section V-B): each vector element drives the wordlines
     as a **(2^ev + fv + 1)-bit fixed-point word** ("a total number of
@@ -426,6 +460,205 @@ def quantize_vector(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
     return xq, ebv
 
 
+class VectorConverterPlan:
+    """Precomputed state for converting length-``n`` vectors under one spec.
+
+    A CG/BiCGSTAB solve converts the same-length vector thousands of times
+    with an unchanging spec, yet :func:`quantize_vector_reference` rebuilds
+    the segment index map, the reduceat boundaries and every intermediate
+    array on each call.  The plan hoists all of that out:
+
+    * ``seg_ids`` / ``starts`` — the per-element segment id and the contiguous
+      reduceat boundaries, built once;
+    * per-thread scratch buffers in a *padded 2-D layout*: the vector is
+      copied into a ``(nseg, 2^b)`` zero-padded buffer whose ``uint64`` bit
+      view is precomputed, so the whole fast path is a handful of ufunc
+      calls with ``out=`` and no O(n) allocations;
+    * per-segment statistics drop to Python scalars when ``nseg`` is small
+      (``<= _PY_SEG_LIMIT``) — at solver sizes the per-call cost is NumPy
+      dispatch overhead, not arithmetic — and stay vectorised for huge
+      segment counts;
+    * the fast lane covers the common solver case (every segment has a
+      nonzero and no segment's grid is finer than binary64); anything else
+      falls back to the general masked path.
+
+    All paths are bit-identical to :func:`quantize_vector_reference`
+    (asserted by the property tests).  Plans are shared process-wide via
+    :func:`vector_converter_plan`; thread safety comes from the scratch
+    buffers being ``threading.local``.
+
+    .. warning:: with ``reuse=True`` the returned arrays are owned by the
+       plan and overwritten by the next ``convert`` call on the same thread.
+       Copy them (or pass ``reuse=False``) to keep them.
+    """
+
+    #: Segment counts up to this use Python-scalar per-segment statistics.
+    _PY_SEG_LIMIT = 4096
+
+    def __init__(self, n: int, spec: ReFloatSpec):
+        self.n = int(check_nonnegative_int(n, "n"))
+        self.spec = spec
+        size = 1 << spec.b
+        self.size = size
+        self.nseg = -(-self.n // size)
+        self.seg_ids = np.arange(self.n, dtype=np.intp) >> spec.b
+        #: Contiguous segment boundaries for ``np.ufunc.reduceat``.
+        self.starts = np.arange(0, self.n, size, dtype=np.intp)
+        lo, hi = offset_bounds(spec.ev)
+        self._hi = hi
+        # ulp_exp = ebv + hi - (2^ev - 1) - fv  =  ebv + lo - fv.
+        self._ulp_off = hi - ((1 << spec.ev) - 1) - spec.fv
+        self._tls = threading.local()
+
+    def _scratch(self) -> dict:
+        bufs = getattr(self._tls, "bufs", None)
+        if bufs is None:
+            bufs = self._tls.bufs = self._alloc()
+        return bufs
+
+    def _alloc(self) -> dict:
+        n_pad = self.nseg * self.size
+        xpad = np.zeros(n_pad, dtype=np.float64)   # tail beyond n stays zero
+        out = np.empty((self.nseg, self.size), dtype=np.float64)
+        return {
+            "xpad": xpad,
+            "x2d": xpad.reshape(self.nseg, self.size),
+            "xpad_n": xpad[:self.n],
+            "bits": xpad.view(np.uint64),
+            "field": (field := np.empty(n_pad, dtype=np.uint64)),
+            "field2d": field.reshape(self.nseg, self.size),
+            "maxima": np.empty(self.nseg, dtype=np.uint64),
+            "sc": np.empty((self.nseg, self.size), dtype=np.float64),
+            "out": out,
+            "xq": out.reshape(-1)[:self.n],
+            "ulp": np.empty((self.nseg, 1), dtype=np.float64),
+            "ebv": np.empty(self.nseg, dtype=np.int32),
+        }
+
+    def convert(self, x, reuse: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Plan-backed :func:`quantize_vector`: returns ``(xq, ebv)``.
+
+        Bit-identical to :func:`quantize_vector_reference`.  With
+        ``reuse=True`` the result lives in per-thread scratch buffers.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.size != self.n:
+            raise ValueError(f"plan is for length {self.n}, got {x.size}")
+        if self.n == 0:
+            return x.copy(), np.zeros(0, dtype=np.int32)
+        spec = self.spec
+        bufs = self._scratch() if reuse else self._alloc()
+        # Copy into the zero-padded 2-D layout; the pad tail (never written
+        # again) reads as zeros, which cannot win a segment max or change
+        # liveness, and is sliced off the output.
+        np.copyto(bufs["xpad_n"], x)
+        # Inline specialisation of ieee.exponent_field over the precomputed
+        # bit view (same flush-to-zero/inf conventions, zero allocations).
+        # One max over the raw biased exponent fields yields every
+        # per-segment statistic the reference derives from decompose():
+        # field == 0 iff decompose reports EXP_ZERO (zeros and subnormals),
+        # so a segment max of 0 means "no nonzeros" (the counts > 0 test),
+        # a max of 0x7FF means inf/nan (decompose's ValueError), and a live
+        # segment's max is the reference's unbiased max plus the bias.
+        field = np.right_shift(bufs["bits"], np.uint64(ieee.FRAC_BITS),
+                               out=bufs["field"])
+        np.bitwise_and(field, np.uint64(0x7FF), out=field)
+        maxima = bufs["field2d"].max(axis=1, out=bufs["maxima"])
+        ebv = bufs["ebv"]
+        hi_const = ieee.EXP_BIAS + self._hi
+        if self.nseg <= self._PY_SEG_LIMIT:
+            # Per-segment stats as Python scalars: at solver sizes the cost
+            # of this stage is ufunc dispatch, not arithmetic.
+            eb_list = maxima.tolist()
+            ulp_list = [0.0] * self.nseg
+            fast = True
+            for i, mb in enumerate(eb_list):
+                if mb == 0:
+                    fast = False
+                    eb = 0
+                elif mb == 0x7FF:
+                    raise ValueError(ieee.NONFINITE_MSG)
+                else:
+                    eb = mb - hi_const
+                ue = eb + self._ulp_off
+                if ue < -1022:
+                    fast = False
+                    ue = -1022
+                eb_list[i] = eb
+                ulp_list[i] = math.ldexp(1.0, ue)
+            ebv[...] = eb_list
+            if fast:
+                bufs["ulp"].ravel()[...] = ulp_list
+        else:
+            maxima = maxima.astype(np.int64)
+            if int(maxima.max()) == 0x7FF:
+                raise ValueError(ieee.NONFINITE_MSG)
+            seg_live = maxima != 0
+            np.multiply(maxima - hi_const, seg_live, out=ebv, casting="unsafe")
+            ulp_exp = ebv.astype(np.int64) + self._ulp_off
+            fast = bool(seg_live.all()) and not bool((ulp_exp < -1022).any())
+            if fast:
+                bufs["ulp"].ravel()[...] = np.ldexp(1.0, ulp_exp)
+        if fast:
+            # Fast lane: every element is live, no masking needed; the
+            # per-segment ulp broadcasts down the 2-D layout.
+            ulp, sc, out = bufs["ulp"], bufs["sc"], bufs["out"]
+            scaled = np.divide(bufs["x2d"], ulp, out=sc)
+            if spec.rounding == "nearest":
+                sgn = np.sign(scaled, out=out)
+                mag = np.abs(scaled, out=scaled)
+                np.add(mag, 0.5, out=mag)
+                np.floor(mag, out=mag)
+                quantized = np.multiply(sgn, mag, out=out)
+            else:
+                quantized = np.trunc(scaled, out=scaled)
+            np.multiply(quantized, ulp, out=out)
+            return bufs["xq"], ebv
+        # General path (empty segments / exact grids): same masked formulas
+        # as the reference, with the precomputed index structures.
+        ulp_exp = ebv.astype(np.int64) + self._ulp_off
+        exact_grid = ulp_exp < -1022
+        seg_live = bufs["maxima"] != 0   # field max 0 <=> no nonzeros
+        live_seg = seg_live & ~exact_grid
+        ulp = np.ldexp(1.0, np.maximum(ulp_exp, -1022))[self.seg_ids]
+        live = live_seg[self.seg_ids]
+        scaled = np.where(live, x / ulp, 0.0)
+        if spec.rounding == "nearest":
+            quantized = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+        else:
+            quantized = np.trunc(scaled)
+        passthrough = (exact_grid & seg_live)[self.seg_ids]
+        xq = np.where(live, quantized * ulp, np.where(passthrough, x, 0.0))
+        if reuse:
+            bufs["xq"][...] = xq
+            xq = bufs["xq"]
+        return xq, ebv
+
+
+@lru_cache(maxsize=256)
+def vector_converter_plan(n: int, spec: ReFloatSpec) -> VectorConverterPlan:
+    """Process-wide cache of :class:`VectorConverterPlan` keyed ``(n, spec)``.
+
+    ``ReFloatSpec`` is a frozen dataclass, so the pair is hashable; the LRU
+    bound only matters for pathological workloads that sweep vector lengths.
+    """
+    return VectorConverterPlan(n, spec)
+
+
+def quantize_vector(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantise a vector segment-wise through the DAC path (vector converter).
+
+    See :func:`quantize_vector_reference` for the hardware semantics and the
+    return convention; this entry point routes through the cached
+    :class:`VectorConverterPlan` (bit-identical, much faster) and always
+    returns freshly-owned arrays.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return x.copy(), np.zeros(0, dtype=np.int32)
+    return vector_converter_plan(x.size, spec).convert(x, reuse=False)
+
+
 def quantize_vector_storage(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarray]:
     """Quantise a vector into the *storage* codec: (1 + ev + fv) bits/element.
 
@@ -437,6 +670,8 @@ def quantize_vector_storage(x, spec: ReFloatSpec) -> Tuple[np.ndarray, np.ndarra
     """
     x = np.asarray(x, dtype=np.float64)
     ebv = vector_segment_bases(x, spec.b, ev=spec.ev, eb_policy=spec.eb_policy)
+    # Cold path: transient index expansion, deliberately not via the plan
+    # cache (a one-off storage quantisation should not pin O(n) plan state).
     per_elem_eb = np.repeat(ebv, 1 << spec.b)[: x.size]
     xq, _ = quantize_values(x, spec.ev, spec.fv, eb=per_elem_eb,
                             rounding=spec.rounding, underflow=spec.underflow)

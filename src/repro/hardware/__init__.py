@@ -17,7 +17,7 @@ from repro.hardware.cost import (
 )
 from repro.hardware.crossbar import CrossbarMVM, bit_slice, integer_mvm
 from repro.hardware.energy import EnergyModel
-from repro.hardware.engine import ProcessingEngine, block_mvm_reference
+from repro.hardware.engine import BlockedEngine, ProcessingEngine, block_mvm_reference
 from repro.hardware.gpu import GPUConfig, GPUSolverModel
 from repro.hardware.noise import RTNModel
 
@@ -38,6 +38,7 @@ __all__ = [
     "bit_slice",
     "integer_mvm",
     "EnergyModel",
+    "BlockedEngine",
     "ProcessingEngine",
     "block_mvm_reference",
     "GPUConfig",

@@ -15,7 +15,24 @@ segment.  This module reproduces the integer-domain datapath:
 Because every step is exact integer arithmetic within 2^53, the engine output
 equals the FP64 shortcut ``~A_c @ ~x_c`` *bit for bit*; that equivalence is
 what licenses :class:`repro.operators.ReFloatOperator`'s fast path, and is
-asserted in the test suite.
+asserted in the test suite.  The one conversion the integer datapath cannot
+express is an *exact-grid* segment (near-lossless vector configs or very
+tiny values, where the segment's ulp exponent falls below the binary64
+normal range and the converter passes values through unquantised) — the
+engines reject it with ``ValueError`` rather than round it silently; the
+FP64 shortcut handles it exactly.
+
+Hot-path architecture
+---------------------
+:class:`ProcessingEngine` hoists everything invariant across ``multiply``
+calls into ``__init__``: the sign-quadrant :class:`CrossbarMVM` instances
+(each construction bit-slices the block into ``N_M`` planes) are built once,
+and the vector conversion goes through the cached
+:class:`repro.formats.refloat.VectorConverterPlan`.  :class:`BlockedEngine`
+extends the same bit-exact datapath to a whole :class:`BlockedMatrix`: all
+occupied blocks are encoded once into a dense integer tensor and every
+``multiply`` runs one batched integer contraction over all blocks — the
+vectorised functional model of the accelerator's engine array.
 """
 
 from __future__ import annotations
@@ -27,16 +44,50 @@ import numpy as np
 
 from repro.formats import ieee
 from repro.formats.refloat import (
-    EncodedBlock,
     ReFloatSpec,
-    encode_values,
+    covering_exponent_base,
     offset_bounds,
     quantize_vector,
+    vector_converter_plan,
 )
 from repro.hardware.cost import cycles_for_spec
 from repro.hardware.crossbar import CrossbarMVM
+from repro.sparse.blocked import BlockedMatrix
 
-__all__ = ["ProcessingEngine", "block_mvm_reference"]
+__all__ = ["ProcessingEngine", "BlockedEngine", "block_mvm_reference"]
+
+
+def _aligned_cells(values: np.ndarray, eb, spec: ReFloatSpec):
+    """Signed aligned integer cell values for nonzeros against base(s) ``eb``.
+
+    The Fig. 6b matrix conversion both engines share: magnitude
+    ``(2^f + frac) << (offset - lo)`` with the below-window flush keyed to
+    the *unrounded* exponent (the datapath drops a value whose stored
+    exponent sits below the window before any fraction rounding).  ``eb``
+    may be a scalar (one block), a per-value array (all blocks at once), or
+    ``None`` to derive the cover base from the values themselves.
+    Returns ``(cells, eb)`` — int64 cells (negative for sign-bit-set values,
+    0 for flushed ones) and the base(s) actually used.
+    """
+    lo, hi = offset_bounds(spec.e)
+    sign, exp, frac = ieee.decompose(values)
+    exp64 = exp.astype(np.int64)
+    if eb is None:
+        eb = covering_exponent_base(int(exp64.max()), spec.e)
+    if spec.rounding == "truncate":
+        qfrac = ieee.truncate_fraction(frac, spec.f)
+        carry = np.zeros(values.shape, dtype=np.int64)
+    else:
+        qfrac, carry_b = ieee.round_fraction(frac, spec.f)
+        carry = carry_b.astype(np.int64)
+    eb64 = np.asarray(eb, dtype=np.int64)
+    offset = np.clip(exp64 + carry - eb64, lo, hi)
+    frac_small = (qfrac >> np.uint64(ieee.FRAC_BITS - spec.f)
+                  if spec.f < ieee.FRAC_BITS else qfrac).astype(np.int64)
+    mag = ((np.int64(1) << np.int64(spec.f)) + frac_small) << (offset - lo)
+    if spec.underflow == "flush":
+        mag = np.where((exp64 - eb64) < lo, np.int64(0), mag)
+    return np.where(sign.astype(bool), -mag, mag), eb
 
 
 class ProcessingEngine:
@@ -57,34 +108,26 @@ class ProcessingEngine:
             raise ValueError(f"block must be ({n}, {n}), got {block.shape}")
         self.spec = spec
         self.block = block
-        lo, hi = offset_bounds(spec.e)
         nz = block != 0.0
+        pos = np.zeros(block.shape, dtype=np.uint64)
+        neg = np.zeros(block.shape, dtype=np.uint64)
         if np.any(nz):
-            enc = encode_values(block[nz], spec.e, spec.f,
-                                rounding=spec.rounding)
-            self.eb = enc.eb
-            mag = ((np.uint64(1) << np.uint64(spec.f)) + enc.frac) << (
-                (enc.offset.astype(np.int64) - lo).astype(np.uint64))
-            # Flush entries below the window (offset saturated at lo from
-            # further down) per the storage semantics.
-            _, exp, _ = ieee.decompose(block[nz])
-            below = (exp.astype(np.int64) - enc.eb) < lo
-            if spec.underflow == "flush":
-                mag = np.where(below, np.uint64(0), mag)
-            pos = np.zeros(block.shape, dtype=np.uint64)
-            neg = np.zeros(block.shape, dtype=np.uint64)
-            sign = enc.sign.astype(bool)
-            pos_vals = np.where(~sign, mag, np.uint64(0))
-            neg_vals = np.where(sign, mag, np.uint64(0))
-            pos[nz] = pos_vals
-            neg[nz] = neg_vals
-            self._pos, self._neg = pos, neg
+            # Shared sign-quadrant cell alignment; eb=None derives the cover
+            # base over this block's nonzeros (what encode_values picks).
+            cells, self.eb = _aligned_cells(block[nz], None, spec)
+            pos[nz] = np.maximum(cells, 0).astype(np.uint64)
+            neg[nz] = (-np.minimum(cells, 0)).astype(np.uint64)
         else:
             self.eb = 0
-            self._pos = np.zeros(block.shape, dtype=np.uint64)
-            self._neg = np.zeros(block.shape, dtype=np.uint64)
+        self._pos, self._neg = pos, neg
         self.matrix_bits = (1 << spec.e) + spec.f
         self.vector_bits = (1 << spec.ev) + spec.fv
+        # Hoisted: the two sign-quadrant crossbar stacks (each construction
+        # bit-slices its matrix into N_M planes) and the vector plan.  The
+        # four quadrant MVMs of `multiply` reuse these.
+        self._mvm_pos = CrossbarMVM(self._pos, self.matrix_bits, self.vector_bits)
+        self._mvm_neg = CrossbarMVM(self._neg, self.matrix_bits, self.vector_bits)
+        self._plan = vector_converter_plan(n, spec)
 
     @property
     def cycles(self) -> int:
@@ -98,26 +141,151 @@ class ProcessingEngine:
         orient blocks accordingly.)
         """
         spec = self.spec
-        xq, ebv = quantize_vector(np.asarray(segment, dtype=np.float64), spec)
-        if ebv.size != 1:
+        segment = np.asarray(segment, dtype=np.float64)
+        if segment.size != self._plan.n:
             raise ValueError("segment must be exactly one block long")
+        xq, ebv = self._plan.convert(segment)
         lo_v, hi_v = offset_bounds(spec.ev)
         ulp_exp = int(ebv[0]) + lo_v - spec.fv
+        if ulp_exp < -1022:
+            raise ValueError(
+                f"segment ulp exponent {ulp_exp} is below the binary64 "
+                "normal range (exact-grid passthrough): the fixed-point "
+                "wordline model cannot represent this conversion — use the "
+                "FP64 shortcut (block_mvm_reference / ReFloatOperator)")
         xint = np.rint(np.abs(xq) * np.ldexp(1.0, -ulp_exp)).astype(np.uint64)
         xpos = np.where(xq >= 0, xint, np.uint64(0))
         xneg = np.where(xq < 0, xint, np.uint64(0))
 
-        mvm_pos = CrossbarMVM(self._pos, self.matrix_bits, self.vector_bits)
-        mvm_neg = CrossbarMVM(self._neg, self.matrix_bits, self.vector_bits)
-        pp = mvm_pos.multiply(xpos)
-        nn = mvm_neg.multiply(xneg)
-        pn = mvm_pos.multiply(xneg)
-        np_ = mvm_neg.multiply(xpos)
+        # Four quadrant MVMs, two per sign-quadrant crossbar stack, batched.
+        pp, pn = self._mvm_pos.multiply_batch(np.stack((xpos, xneg)))
+        nn, np_ = self._mvm_neg.multiply_batch(np.stack((xneg, xpos)))
         signed = (pp + nn) - (pn + np_)
 
         lo, _ = offset_bounds(spec.e)
         scale_exp = (self.eb + lo - spec.f) + ulp_exp
         return signed.astype(np.float64) * np.ldexp(1.0, scale_exp)
+
+
+class BlockedEngine:
+    """Batched multi-block engine: every occupied block in one vectorised pass.
+
+    The functional model of the accelerator's engine *array*: each occupied
+    block of a :class:`BlockedMatrix` is one :class:`ProcessingEngine`, all
+    operating in parallel on their row segment of the input vector, with the
+    per-block outputs accumulated into the output column segments in block
+    order.  ``multiply`` is bit-identical to running one
+    :class:`ProcessingEngine` per occupied block (same accumulation order) —
+    asserted by the fast-path tests — but performs a single integer
+    ``einsum`` over a precomputed ``(n_blocks, 2^b, 2^b)`` signed-cell
+    tensor instead of thousands of per-block bit-serial simulations.
+
+    Exactness argument: the four sign-quadrant products combine as
+    ``(P+ x+ + P- x-) - (P+ x- + P- x+) = (P+ - P-)^T (x+ - x-)``, and every
+    quantity is an exact int64 (widths validated at construction), so
+    storing the *signed* cells loses nothing.
+
+    Like :class:`ProcessingEngine`, block exponent bases always use the
+    ``"cover"`` policy (the hardware padding alignment), regardless of
+    ``spec.eb_policy``.
+
+    Memory: the dense cell tensor costs ``8 * n_blocks * 4^b`` bytes — fine
+    for the functional-simulation scales this class targets; production SpMV
+    goes through :class:`repro.operators.ReFloatOperator`'s CSR shortcut.
+    """
+
+    def __init__(self, blocked: BlockedMatrix, spec: ReFloatSpec):
+        if spec.b != blocked.b:
+            raise ValueError(
+                f"spec block size 2^{spec.b} does not match partition 2^{blocked.b}"
+            )
+        self.blocked = blocked
+        self.spec = spec
+        self.matrix_bits = (1 << spec.e) + spec.f
+        self.vector_bits = (1 << spec.ev) + spec.fv
+        size = blocked.block_size
+        width = self.matrix_bits + self.vector_bits + int(size).bit_length()
+        if width > 62:
+            raise ValueError("operand widths would overflow the exact int64 model")
+        bi, bj = blocked.block_coords()
+        self.block_rows = bi.astype(np.int64)
+        self.block_cols = bj.astype(np.int64)
+        lo, hi = offset_bounds(spec.e)
+        self._lo = lo
+        G = blocked.n_blocks
+        #: Per-block cover exponent bases (block-grouped order).
+        self.eb = blocked.exponent_bases(spec.e, "cover").astype(np.int64)
+        cells = np.zeros((G, size, size), dtype=np.int64)
+        if blocked.nnz:
+            A = blocked.A
+            # per_nnz_eb would recompute exponent_bases; expand self.eb
+            # (already the cover bases, block-grouped) back to CSR order.
+            per_eb = np.empty(blocked.nnz, dtype=np.int64)
+            per_eb[blocked.order] = np.repeat(self.eb, blocked.block_nnz)
+            signed, _ = _aligned_cells(A.data, per_eb, spec)
+            rows = np.repeat(np.arange(A.shape[0], dtype=np.int64),
+                             np.diff(A.indptr))
+            cols = A.indices.astype(np.int64)
+            order = blocked.order
+            g_ids = np.repeat(np.arange(G, dtype=np.int64), blocked.block_nnz)
+            cells[g_ids, rows[order] & (size - 1), cols[order] & (size - 1)] = \
+                signed[order]
+        self._cells = cells
+        self._plan = vector_converter_plan(blocked.shape[0], spec)
+
+    @property
+    def n_engines(self) -> int:
+        """Processing engines required (= occupied blocks)."""
+        return int(self.blocked.n_blocks)
+
+    @property
+    def cycles(self) -> int:
+        """Eq. (3) latency of one (parallel) block-MVM wave."""
+        return cycles_for_spec(self.spec)
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Full SpMV ``~A^T @ ~x`` through every occupied block at once.
+
+        ``x`` is indexed by matrix rows (the wordline side); the result is
+        indexed by columns, exactly like stacking per-block
+        ``ProcessingEngine.multiply`` outputs.
+        """
+        spec = self.spec
+        n_rows, n_cols = self.blocked.shape
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (n_rows,):
+            raise ValueError(f"x must have shape ({n_rows},), got {x.shape}")
+        size = self.blocked.block_size
+        nseg_r = -(-n_rows // size)
+        nseg_c = -(-n_cols // size)
+        xq, ebv = self._plan.convert(x)
+        lo_v, _ = offset_bounds(spec.ev)
+        ulp_exp = ebv.astype(np.int64) + lo_v - spec.fv
+        if bool((ulp_exp < -1022).any()):
+            raise ValueError(
+                "a segment ulp exponent is below the binary64 normal range "
+                "(exact-grid passthrough): the fixed-point wordline model "
+                "cannot represent this conversion — use the FP64 shortcut "
+                "(block_mvm_reference / ReFloatOperator)")
+        xpad = np.zeros(nseg_r * size, dtype=np.float64)
+        xpad[:n_rows] = xq
+        X = xpad.reshape(nseg_r, size)
+        xint = np.rint(np.abs(X) * np.ldexp(1.0, -ulp_exp)[:, None]).astype(np.int64)
+        if xint.size and int(xint.max()) >= (1 << self.vector_bits):
+            raise ValueError(
+                f"vector word does not fit in {self.vector_bits} bits")
+        xs = np.where(X >= 0, xint, -xint)
+        # One batched integer contraction over all occupied blocks (the
+        # per-block ④→⑤ quadrant combination, collapsed to signed cells).
+        V = xs[self.block_rows]                       # (G, size)
+        signed = np.einsum("gij,gi->gj", self._cells, V)
+        scale_exp = (self.eb + self._lo - spec.f) + ulp_exp[self.block_rows]
+        contrib = signed.astype(np.float64) * np.ldexp(1.0, scale_exp)[:, None]
+        out = np.zeros((nseg_c, size), dtype=np.float64)
+        # add.at accumulates in block order — the same order as a Python loop
+        # over occupied blocks, so float rounding matches the per-block path.
+        np.add.at(out, self.block_cols, contrib)
+        return out.ravel()[:n_cols]
 
 
 def block_mvm_reference(block: np.ndarray, segment: np.ndarray,

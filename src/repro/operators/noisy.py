@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.formats.refloat import DEFAULT_SPEC, ReFloatSpec, quantize_vector
+from repro.formats.refloat import DEFAULT_SPEC, ReFloatSpec
 from repro.operators.refloat_op import ReFloatOperator
 from repro.util.rng import SeedLike, default_rng
 from repro.util.validation import check_in_range
@@ -36,9 +36,10 @@ class NoisyReFloatOperator:
     """
 
     def __init__(self, A, spec: ReFloatSpec = DEFAULT_SPEC, sigma: float = 0.0,
-                 seed: SeedLike = None, fresh_per_apply: bool = True):
+                 seed: SeedLike = None, fresh_per_apply: bool = True,
+                 blocked=None):
         check_in_range(sigma, "sigma", 0.0, 1.0)
-        self._base = ReFloatOperator(A, spec)
+        self._base = ReFloatOperator(A, spec, blocked=blocked)
         self.spec = spec
         self.sigma = float(sigma)
         self.rng = default_rng(seed)
@@ -54,7 +55,7 @@ class NoisyReFloatOperator:
         return 1.0 + self.sigma * self.rng.standard_normal(self.A.nnz)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        xq, _ = quantize_vector(np.asarray(x, dtype=np.float64), self.spec)
+        xq = self._base.quantize_input(x, reuse=True)
         if self.sigma == 0.0:
             return self.A @ xq
         factor = self._draw() if self.fresh_per_apply else self._frozen

@@ -8,6 +8,13 @@ arithmetic equivalence is Eq. 9: per-block fixed-point MVMs scaled by
 functional model is ``y = ~A @ ~x`` computed in FP64 (the engine's output and
 accumulation precision).  Bit-exactness of this shortcut against the
 crossbar-level datapath is verified in :mod:`repro.hardware.engine` tests.
+
+Hot path: ``matvec`` converts through a cached
+:class:`repro.formats.refloat.VectorConverterPlan`, so a solver iteration
+re-derives no segment structure and allocates nothing for the conversion
+(the plan's per-thread scratch buffers are reused).  Callers that already
+partitioned the matrix pass it via ``blocked=`` to skip the second partition
+the constructor would otherwise redo.
 """
 
 from __future__ import annotations
@@ -17,7 +24,11 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.formats.refloat import DEFAULT_SPEC, ReFloatSpec, quantize_vector
+from repro.formats.refloat import (
+    DEFAULT_SPEC,
+    ReFloatSpec,
+    vector_converter_plan,
+)
 from repro.sparse.blocked import BlockedMatrix
 
 __all__ = ["ReFloatOperator"]
@@ -29,9 +40,13 @@ class ReFloatOperator:
     Parameters
     ----------
     A : sparse matrix
-        The FP64 system matrix.
+        The FP64 system matrix.  May be ``None`` when ``blocked`` is given.
     spec : ReFloatSpec
         Bit configuration (paper default ``ReFloat(7,3,3)(3,8)``).
+    blocked : BlockedMatrix, optional
+        A prebuilt block partition of ``A`` (must use ``b == spec.b``).
+        Passing it avoids re-partitioning the same matrix — ``run_matrix``
+        already holds one for its own accounting.
 
     Attributes
     ----------
@@ -43,21 +58,38 @@ class ReFloatOperator:
         Block partition with per-block exponent bases.
     """
 
-    def __init__(self, A, spec: ReFloatSpec = DEFAULT_SPEC):
+    def __init__(self, A, spec: ReFloatSpec = DEFAULT_SPEC,
+                 blocked: Optional[BlockedMatrix] = None):
         self.spec = spec
-        self.blocked = BlockedMatrix(A, b=spec.b)
+        if blocked is None:
+            blocked = BlockedMatrix(A, b=spec.b)
+        elif blocked.b != spec.b:
+            raise ValueError(
+                f"blocked partition uses b={blocked.b}, spec requires b={spec.b}"
+            )
+        self.blocked = blocked
         self.exact = self.blocked.A
         self.A = self.blocked.quantize(spec)
         self.shape = self.A.shape
+        self._plan = vector_converter_plan(self.shape[1], spec)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Quantise the vector segment-wise, multiply by the quantised matrix."""
-        xq, _ = quantize_vector(np.asarray(x, dtype=np.float64), self.spec)
+        """Quantise the vector segment-wise, multiply by the quantised matrix.
+
+        The conversion runs through the cached plan's scratch buffers; only
+        the SpMV output is a fresh array.
+        """
+        xq, _ = self._plan.convert(np.asarray(x, dtype=np.float64))
         return self.A @ xq
 
-    def quantize_input(self, x: np.ndarray) -> np.ndarray:
-        """The vector the crossbars actually see (for diagnostics)."""
-        xq, _ = quantize_vector(np.asarray(x, dtype=np.float64), self.spec)
+    def quantize_input(self, x: np.ndarray, reuse: bool = False) -> np.ndarray:
+        """The vector the crossbars actually see (for diagnostics).
+
+        ``reuse=True`` returns the plan's per-thread scratch buffer —
+        overwritten by the next conversion on this thread — for hot-path
+        callers (e.g. wrapping operators) that consume it immediately.
+        """
+        xq, _ = self._plan.convert(np.asarray(x, dtype=np.float64), reuse=reuse)
         return xq
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -106,6 +106,24 @@ class BlockedMatrix:
         nbc = self.block_grid[1]
         return self.block_keys // nbc, self.block_keys % nbc
 
+    def dense_block(self, bi: int, bj: int) -> np.ndarray:
+        """One ``2^b x 2^b`` dense block, zero-padded at ragged edges.
+
+        This is exactly what a single crossbar cluster holds — the unit a
+        :class:`repro.hardware.engine.ProcessingEngine` consumes.
+        """
+        size = self.block_size
+        n_rows, n_cols = self.A.shape
+        r0, c0 = bi * size, bj * size
+        if not (0 <= r0 < n_rows and 0 <= c0 < n_cols):
+            raise IndexError(f"block ({bi}, {bj}) outside grid {self.block_grid}")
+        sub = self.A[r0:r0 + size, c0:c0 + size].toarray()
+        if sub.shape == (size, size):
+            return sub
+        out = np.zeros((size, size), dtype=np.float64)
+        out[: sub.shape[0], : sub.shape[1]] = sub
+        return out
+
     # ------------------------------------------------------------------
     @cached_property
     def _exponents(self) -> np.ndarray:

@@ -1,0 +1,399 @@
+"""Bit-identity tests for the hot-path fast lanes.
+
+Every optimised path in this PR keeps a slower reference implementation
+around; these tests pin the equivalences:
+
+* plan-backed :func:`quantize_vector` vs :func:`quantize_vector_reference`
+  (specs with ``ev = 0``, empty segments, lengths not a multiple of ``2^b``,
+  all-zero vectors, exact-grid configs);
+* the batched :class:`CrossbarMVM` contraction vs the cycle-accurate
+  ``record_trace`` loop;
+* :class:`BlockedEngine` vs one :class:`ProcessingEngine` per occupied block;
+* operators built from a prebuilt :class:`BlockedMatrix` vs from scratch;
+* parallel :func:`run_suite` vs a serial :func:`run_matrix`.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import DEFAULT_SPEC, ReFloatSpec
+from repro.formats import ieee
+from repro.formats.refloat import (
+    quantize_vector,
+    quantize_vector_reference,
+    vector_converter_plan,
+    vector_segment_bases,
+)
+from repro.hardware import BlockedEngine, CrossbarMVM, ProcessingEngine
+from repro.operators import FeinbergOperator, NoisyReFloatOperator, ReFloatOperator
+from repro.sparse.blocked import BlockedMatrix
+
+def random_float_array(rng, n, exp_range=(-20, 20), include_zero=False):
+    """Random finite doubles with a controlled exponent spread."""
+    vals = rng.standard_normal(n) * np.exp2(rng.uniform(*exp_range, n))
+    if include_zero and n > 2:
+        vals[rng.integers(0, n, max(1, n // 10))] = 0.0
+    return vals
+
+
+#: Edge-case specs named by the issue: ev = 0, tiny blocks, near-lossless
+#: (exact-grid) vector configs, nearest rounding, mean policy.
+EDGE_SPECS = [
+    DEFAULT_SPEC,
+    ReFloatSpec(b=3, e=3, f=3, ev=3, fv=8),
+    ReFloatSpec(b=3, e=0, f=2, ev=0, fv=4),
+    ReFloatSpec(b=2, e=3, f=3, ev=11, fv=52),
+    ReFloatSpec(b=4, e=2, f=5, ev=2, fv=6, rounding="nearest"),
+    ReFloatSpec(b=5, e=3, f=3, ev=3, fv=8, eb_policy="mean"),
+]
+
+
+def _assert_same_conversion(x, spec):
+    ref_xq, ref_ebv = quantize_vector_reference(x, spec)
+    xq, ebv = quantize_vector(x, spec)
+    np.testing.assert_array_equal(xq, ref_xq)
+    np.testing.assert_array_equal(ebv, ref_ebv)
+    assert ebv.dtype == ref_ebv.dtype
+    if x.size:
+        plan = vector_converter_plan(x.size, spec)
+        pxq, pebv = plan.convert(x)
+        np.testing.assert_array_equal(pxq, ref_xq)
+        np.testing.assert_array_equal(pebv, ref_ebv)
+
+
+class TestConverterPlan:
+    @pytest.mark.parametrize("spec", EDGE_SPECS, ids=str)
+    @pytest.mark.parametrize("shape", ["multiple", "ragged", "short", "one"])
+    def test_bit_identical_random(self, rng, spec, shape):
+        size = 1 << spec.b
+        n = {"multiple": 3 * size, "ragged": 3 * size + size // 2 + 1,
+             "short": max(1, size // 2), "one": 1}[shape]
+        for trial in range(5):
+            x = random_float_array(rng, n, exp_range=(-30, 30),
+                                   include_zero=True)
+            _assert_same_conversion(x, spec)
+
+    @pytest.mark.parametrize("spec", EDGE_SPECS, ids=str)
+    def test_empty_segment_and_all_zero(self, rng, spec):
+        size = 1 << spec.b
+        x = random_float_array(rng, 3 * size, include_zero=True)
+        x[size:2 * size] = 0.0          # interior all-zero segment
+        _assert_same_conversion(x, spec)
+        x[:] = 0.0                       # fully zero vector
+        _assert_same_conversion(x, spec)
+        _assert_same_conversion(np.zeros(0), spec)
+
+    def test_tiny_values_exact_grid_mix(self, rng):
+        # Segments whose ulp grid falls below the binary64 normal range
+        # (passthrough) mixed with ordinary segments.
+        spec = ReFloatSpec(b=3, e=3, f=3, ev=11, fv=52)
+        x = random_float_array(rng, 32, exp_range=(-600, -400))
+        x[8:16] = random_float_array(rng, 8, exp_range=(-2, 2))
+        _assert_same_conversion(x, spec)
+
+    def test_subnormals_flush_like_reference(self, rng):
+        x = random_float_array(rng, 16)
+        x[3] = 5e-320                    # subnormal
+        x[11] = -2e-310
+        _assert_same_conversion(x, DEFAULT_SPEC)
+
+    def test_nonfinite_raises(self):
+        plan = vector_converter_plan(8, DEFAULT_SPEC)
+        x = np.ones(8)
+        x[5] = np.inf
+        with pytest.raises(ValueError):
+            plan.convert(x)
+        x[5] = np.nan
+        with pytest.raises(ValueError):
+            plan.convert(x)
+
+    def test_scratch_reuse_and_fresh_copies(self, rng):
+        plan = vector_converter_plan(64, DEFAULT_SPEC)
+        x1 = random_float_array(rng, 64)
+        x2 = random_float_array(rng, 64)
+        r1, _ = plan.convert(x1)
+        kept = r1.copy()
+        r2, _ = plan.convert(x2)
+        assert r2 is r1                  # same scratch buffer...
+        assert not np.array_equal(kept, r2)
+        fresh, _ = plan.convert(x1, reuse=False)
+        assert fresh is not r1           # ...unless a copy is requested
+        np.testing.assert_array_equal(fresh, kept)
+
+    def test_thread_safety_of_shared_plan(self, rng):
+        plan = vector_converter_plan(256, DEFAULT_SPEC)
+        xs = [random_float_array(rng, 256, include_zero=True)
+              for _ in range(8)]
+        refs = [quantize_vector_reference(x, DEFAULT_SPEC)[0] for x in xs]
+        failures = []
+
+        def worker(i):
+            for _ in range(50):
+                out, _ = plan.convert(xs[i])
+                if not np.array_equal(out, refs[i]):
+                    failures.append(i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_vectorised_segment_stats_path(self, rng, monkeypatch):
+        """nseg above _PY_SEG_LIMIT switches to the NumPy stats pipeline."""
+        from repro.formats.refloat import VectorConverterPlan
+
+        monkeypatch.setattr(VectorConverterPlan, "_PY_SEG_LIMIT", 2)
+        spec = ReFloatSpec(b=3, e=3, f=3, ev=3, fv=8)
+        for trial in range(3):
+            x = random_float_array(rng, 85, include_zero=True)
+            if trial == 1:
+                x[8:16] = 0.0            # dead segment -> general path
+            plan = VectorConverterPlan(85, spec)
+            assert plan.nseg > plan._PY_SEG_LIMIT
+            ref_xq, ref_ebv = quantize_vector_reference(x, spec)
+            xq, ebv = plan.convert(x)
+            np.testing.assert_array_equal(xq, ref_xq)
+            np.testing.assert_array_equal(ebv, ref_ebv)
+        x = random_float_array(rng, 85)
+        x[3] = np.inf
+        with pytest.raises(ValueError):
+            VectorConverterPlan(85, spec).convert(x)
+
+    @given(st.integers(0, 2 ** 31), st.integers(1, 70))
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_hypothesis(self, seed, n):
+        rng = np.random.default_rng(seed)
+        spec = ReFloatSpec(b=3, e=3, f=3, ev=3, fv=8)
+        x = random_float_array(rng, n, exp_range=(-40, 40), include_zero=True)
+        _assert_same_conversion(x, spec)
+
+    def test_exponent_field_matches_decompose(self, rng):
+        x = random_float_array(rng, 100, include_zero=True)
+        x[7] = 4e-320                    # subnormal flushes in both
+        field = ieee.exponent_field(x)
+        _, exp, _ = ieee.decompose(x)
+        zero = exp == ieee.EXP_ZERO
+        np.testing.assert_array_equal(field == 0, zero)
+        np.testing.assert_array_equal(
+            field[~zero].astype(np.int64) - ieee.EXP_BIAS, exp[~zero])
+        with pytest.raises(ValueError):
+            ieee.exponent_field([1.0, np.inf])
+        assert ieee.exponent_field([1.0, np.inf], validate=False)[1] == 0x7FF
+
+
+class TestSegmentBasesReduceat:
+    """vector_segment_bases now reduces contiguous segments with reduceat."""
+
+    @pytest.mark.parametrize("policy", ["cover", "mean"])
+    @pytest.mark.parametrize("n", [1, 5, 8, 24, 29])
+    def test_matches_per_segment_loop(self, rng, policy, n):
+        b, ev = 3, 3
+        x = random_float_array(rng, n, exp_range=(-9, 9), include_zero=True)
+        got = vector_segment_bases(x, b, ev=ev, eb_policy=policy)
+        size = 1 << b
+        expected = []
+        for s in range(-(-n // size)):
+            seg = x[s * size:(s + 1) * size]
+            _, exp, _ = ieee.decompose(seg)
+            exp = exp[exp != ieee.EXP_ZERO]
+            if exp.size == 0:
+                expected.append(0)
+            elif policy == "cover":
+                expected.append(int(exp.max()) - ((1 << (ev - 1)) - 1))
+            else:
+                expected.append(int(np.floor(exp.mean() + 0.5)))
+        assert got.tolist() == expected
+
+    def test_empty_vector(self):
+        assert vector_segment_bases(np.zeros(0), 3, ev=3).size == 0
+
+
+class TestCrossbarBatched:
+    @given(st.integers(1, 12), st.integers(1, 12),
+           st.integers(2, 8), st.integers(2, 8), st.integers(0, 2 ** 31))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_path_matches_trace_loop(self, m, n, mb, vb, seed):
+        rng = np.random.default_rng(seed)
+        M = rng.integers(0, 1 << mb, (m, n)).astype(np.uint64)
+        v = rng.integers(0, 1 << vb, m).astype(np.uint64)
+        fast = CrossbarMVM(M, mb, vb).multiply(v)
+        slow = CrossbarMVM(M, mb, vb, record_trace=True).multiply(v)
+        np.testing.assert_array_equal(fast, slow)
+        assert fast.dtype == np.int64
+
+    def test_batch_matches_per_vector(self, rng):
+        M = rng.integers(0, 1 << 5, (9, 7)).astype(np.uint64)
+        eng = CrossbarMVM(M, 5, 6)
+        V = rng.integers(0, 1 << 6, (4, 9)).astype(np.uint64)
+        batched = eng.multiply_batch(V)
+        for i in range(4):
+            np.testing.assert_array_equal(batched[i], eng.multiply(V[i]))
+
+    def test_batch_validates(self, rng):
+        eng = CrossbarMVM(np.zeros((3, 3), dtype=np.uint64), 2, 2)
+        with pytest.raises(ValueError):
+            eng.multiply_batch(np.zeros((2, 4), dtype=np.uint64))
+        traced = CrossbarMVM(np.zeros((3, 3), dtype=np.uint64), 2, 2,
+                             record_trace=True)
+        with pytest.raises(ValueError):
+            traced.multiply_batch(np.zeros((2, 3), dtype=np.uint64))
+
+    def test_record_trace_flip_off_still_multiplies(self, rng):
+        # record_trace is a plain dataclass field; clearing it after
+        # construction must lazily build the batched operands, not crash.
+        M = rng.integers(0, 1 << 4, (5, 5)).astype(np.uint64)
+        eng = CrossbarMVM(M, 4, 4, record_trace=True)
+        v = rng.integers(0, 1 << 4, 5).astype(np.uint64)
+        traced = eng.multiply(v)
+        eng.record_trace = False
+        np.testing.assert_array_equal(eng.multiply(v), traced)
+
+    def test_wide_config_int64_fallback(self, rng):
+        # width > 53 exercises the exact-int64 route.
+        M = (rng.integers(0, 1 << 30, (4, 3)).astype(np.uint64) << np.uint64(2))
+        eng = CrossbarMVM(M, 32, 20)
+        assert eng._width > 53
+        v = rng.integers(0, 1 << 20, 4).astype(np.uint64)
+        slow = CrossbarMVM(M, 32, 20, record_trace=True).multiply(v)
+        np.testing.assert_array_equal(eng.multiply(v), slow)
+
+
+def _reference_blocked_mvm(blocked, spec, x):
+    """One ProcessingEngine per occupied block, accumulated in block order."""
+    size = blocked.block_size
+    n_rows, n_cols = blocked.shape
+    nseg_r = -(-n_rows // size)
+    nseg_c = -(-n_cols // size)
+    xpad = np.zeros(nseg_r * size)
+    xpad[:n_rows] = x
+    y = np.zeros(nseg_c * size)
+    bi, bj = blocked.block_coords()
+    for g in range(blocked.n_blocks):
+        block = blocked.dense_block(int(bi[g]), int(bj[g]))
+        engine = ProcessingEngine(block, spec)
+        seg = engine.multiply(xpad[bi[g] * size:(bi[g] + 1) * size])
+        y[bj[g] * size:(bj[g] + 1) * size] += seg
+    return y[:n_cols]
+
+
+class TestBlockedEngine:
+    @pytest.mark.parametrize("b,n,density", [(3, 24, 0.3), (3, 29, 0.2),
+                                             (2, 17, 0.4), (4, 40, 0.1)])
+    def test_matches_per_block_engines(self, rng, b, n, density):
+        spec = ReFloatSpec(b=b, e=3, f=3, ev=3, fv=8)
+        A = sp.random(n, n, density=density, random_state=int(n + b),
+                      data_rvs=lambda k: random_float_array(rng, k, (-4, 4)))
+        blocked = BlockedMatrix(A, b=b)
+        engine = BlockedEngine(blocked, spec)
+        x = random_float_array(rng, n, exp_range=(-5, 3), include_zero=True)
+        np.testing.assert_array_equal(engine.multiply(x),
+                                      _reference_blocked_mvm(blocked, spec, x))
+
+    def test_e_zero_and_nearest(self, rng, small_spd):
+        blocked = BlockedMatrix(small_spd, b=3)
+        x = random_float_array(rng, small_spd.shape[0], include_zero=True)
+        for spec in (ReFloatSpec(b=3, e=0, f=2, ev=0, fv=4),
+                     ReFloatSpec(b=3, e=2, f=4, ev=2, fv=6,
+                                 rounding="nearest")):
+            engine = BlockedEngine(blocked, spec)
+            np.testing.assert_array_equal(
+                engine.multiply(x), _reference_blocked_mvm(blocked, spec, x))
+
+    def test_empty_matrix_and_validation(self):
+        blocked = BlockedMatrix(sp.csr_matrix((16, 16)), b=3)
+        engine = BlockedEngine(blocked, ReFloatSpec(b=3))
+        assert np.all(engine.multiply(np.ones(16)) == 0.0)
+        assert engine.n_engines == 0
+        with pytest.raises(ValueError):
+            BlockedEngine(blocked, ReFloatSpec(b=4))
+        with pytest.raises(ValueError):
+            engine.multiply(np.ones(17))
+
+    def test_exact_grid_segments_rejected(self):
+        # The bounded-integer wordline cannot represent a segment whose grid
+        # is finer than binary64 (the converter's passthrough case); both
+        # engines must refuse loudly instead of returning silent zeros.
+        spec = ReFloatSpec(b=2, e=3, f=3, ev=3, fv=8)
+        x = np.full(4, 2.0 ** -1015)
+        engine = ProcessingEngine(np.eye(4), spec)
+        with pytest.raises(ValueError, match="binary64 normal range"):
+            engine.multiply(x)
+        blocked_eng = BlockedEngine(
+            BlockedMatrix(sp.eye(4, format="csr"), b=2), spec)
+        with pytest.raises(ValueError, match="binary64 normal range"):
+            blocked_eng.multiply(x)
+
+    def test_repeated_calls_stable(self, rng, small_spd):
+        blocked = BlockedMatrix(small_spd, b=3)
+        engine = BlockedEngine(blocked, ReFloatSpec(b=3))
+        x = random_float_array(rng, small_spd.shape[0])
+        first = engine.multiply(x).copy()
+        np.testing.assert_array_equal(engine.multiply(x), first)
+
+
+class TestPrebuiltBlocked:
+    def test_refloat_operator_accepts_partition(self, rng, small_wathen):
+        spec = ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)
+        blocked = BlockedMatrix(small_wathen, b=7)
+        fresh = ReFloatOperator(small_wathen, spec)
+        shared = ReFloatOperator(None, spec, blocked=blocked)
+        assert shared.blocked is blocked
+        assert (fresh.A != shared.A).nnz == 0
+        x = random_float_array(rng, small_wathen.shape[0])
+        np.testing.assert_array_equal(fresh.matvec(x).copy(),
+                                      shared.matvec(x))
+        np.testing.assert_array_equal(shared.quantize_input(x),
+                                      quantize_vector_reference(x, spec)[0])
+
+    def test_refloat_operator_rejects_mismatched_b(self, small_spd):
+        blocked = BlockedMatrix(small_spd, b=3)
+        with pytest.raises(ValueError):
+            ReFloatOperator(small_spd, ReFloatSpec(b=7), blocked=blocked)
+
+    def test_feinberg_operator_accepts_partition(self, rng, small_wathen):
+        blocked = BlockedMatrix(small_wathen, b=7)
+        fresh = FeinbergOperator(small_wathen)
+        shared = FeinbergOperator(None, blocked=blocked)
+        assert shared.A is blocked.A
+        x = random_float_array(rng, small_wathen.shape[0])
+        np.testing.assert_array_equal(fresh.matvec(x), shared.matvec(x))
+
+    def test_noisy_operator_accepts_partition(self, rng, small_spd):
+        blocked = BlockedMatrix(small_spd, b=7)
+        spec = ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)
+        fresh = NoisyReFloatOperator(small_spd, spec, sigma=0.05, seed=9)
+        shared = NoisyReFloatOperator(None, spec, sigma=0.05, seed=9,
+                                      blocked=blocked)
+        x = random_float_array(rng, small_spd.shape[0])
+        np.testing.assert_array_equal(fresh.matvec(x), shared.matvec(x))
+
+
+class TestParallelSuite:
+    def test_parallel_matches_serial_run(self):
+        from repro.experiments.common import run_matrix, run_suite
+
+        runs = run_suite("cg", "test", max_workers=4)
+        assert list(runs) == list(__import__(
+            "repro.sparse.gallery.suite", fromlist=["suite_ids"]).suite_ids())
+        serial = run_matrix(353, "cg", "test")
+        parallel = runs[353]
+        assert parallel.results["refloat"].iterations == \
+            serial.results["refloat"].iterations
+        assert parallel.results["gpu"].residual_norm == \
+            serial.results["gpu"].residual_norm
+        assert parallel.times_s == serial.times_s
+
+    def test_assets_cached_and_shared(self):
+        from repro.experiments.common import matrix_assets
+
+        a1 = matrix_assets(353, "test")
+        a2 = matrix_assets(353, "test")
+        assert a1 is a2
+        assert a1.refloat_op.blocked is a1.blocked
