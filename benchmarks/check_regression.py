@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Gate kernel performance against the committed benchmark snapshot.
+
+Compares a fresh ``pytest-benchmark`` JSON run against the repo's
+``BENCH_kernels.json`` and exits nonzero when any kernel's median slows
+down by more than the threshold (default 30%).  Produce the fresh run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernels.py -m bench \
+        --benchmark-json=BENCH_fresh.json -q
+    python benchmarks/check_regression.py --fresh BENCH_fresh.json
+
+CI runs this as a *non-blocking* job (shared runners have noisy clocks —
+the job informs reviewers, it never gates a merge); on a quiet machine the
+same command is a real regression gate.  Kernels present on only one side
+are reported but never fail the check, so adding or retiring benchmarks
+does not break the pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def load_medians(path) -> dict:
+    """Map benchmark name -> median seconds from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    benches = data.get("benchmarks")
+    if not isinstance(benches, list):
+        raise SystemExit(f"{path}: not a pytest-benchmark JSON (no 'benchmarks')")
+    return {b["name"]: float(b["stats"]["median"]) for b in benches}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on >threshold median regressions vs the snapshot.")
+    parser.add_argument("--fresh", required=True,
+                        help="benchmark JSON of the fresh run")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed snapshot (default: BENCH_kernels.json)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown (default: 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+
+    shared = sorted(set(baseline) & set(fresh))
+    only_base = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+
+    regressions = []
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'kernel':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
+    for name in shared:
+        base, now = baseline[name], fresh[name]
+        delta = now / base - 1.0 if base > 0 else float("inf")
+        flag = "  << REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {base:12.3e}  {now:12.3e}  {delta:+8.1%}{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+    for name in only_base:
+        print(f"{name:<{width}}  (missing from fresh run)")
+    for name in only_fresh:
+        print(f"{name:<{width}}  (new kernel, no baseline)")
+
+    if not shared:
+        print("no shared kernels between baseline and fresh run", file=sys.stderr)
+        return 2
+    if regressions:
+        worst = max(delta for _, delta in regressions)
+        print(f"\n{len(regressions)} kernel(s) regressed beyond "
+              f"{args.threshold:.0%} (worst {worst:+.1%})", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} kernels within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.formats import (
     FORMAT_ZOO,
-    ReFloatSpec,
     encode_values,
     quantize_to_named_format,
     quantize_values,

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.formats import ieee
 from repro.sparse.blocked import BlockedMatrix
 
 __all__ = ["locality_report", "block_range_histogram"]

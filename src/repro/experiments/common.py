@@ -15,23 +15,29 @@ Platforms (the Fig. 8 legend):
 
 Hot-path architecture
 ---------------------
-Two layers of in-process caching plus a thread fan-out keep full-suite
+Two layers of in-process caching plus a configurable fan-out keep full-suite
 regenerations fast:
 
 * a *matrix asset* cache keyed ``(sid, scale)`` holds the built matrix, its
   right-hand side, one shared :class:`BlockedMatrix` partition and the
   constructed platform operators — so the cg and bicgstab sweeps (and any
   experiment revisiting a matrix) stop re-partitioning and re-quantising
-  identical matrices;
+  identical matrices.  The cache is LRU with a byte budget:
+  ``REPRO_ASSET_CACHE_MB`` bounds the (estimated) resident bytes, evicting
+  the least-recently-used entries first, so ``paper``-scale sweeps do not
+  grow without bound (unset = unbounded, the test/default-scale behaviour);
 * a *run* cache keyed ``(scale, solver)`` memoises whole-suite sweeps;
-* :func:`run_suite` fans the 12 matrices out over a thread pool.
-  ``REPRO_SUITE_WORKERS`` overrides the worker count; ``1`` forces the
-  serial path.  Results are deterministic and identical to serial execution
-  — operators are effectively immutable and the vector-converter scratch
-  buffers are thread-local.  The fan-out pays off at ``default``/``paper``
-  scale, where the SpMV kernels are large enough to release the GIL; at
-  ``test`` scale the tiny per-op kernels keep it roughly cost-neutral
-  (see ROADMAP: process-pool fan-out is the next step for paper-scale).
+* :func:`run_suite` fans the 12 matrices out over an executor.
+  ``REPRO_SUITE_EXECUTOR`` selects ``thread`` (default) or ``process``;
+  ``REPRO_SUITE_WORKERS`` overrides the worker count, with ``1`` forcing
+  the serial path.  Thread results are deterministic and identical to
+  serial execution — operators are effectively immutable and the
+  vector-converter scratch buffers are thread-local.  The process pool
+  sidesteps the GIL entirely for ``paper``-scale sweeps: task payloads are
+  picklable ``(sid, solver, scale)`` triples, each worker process builds
+  and caches its own assets (the module-level caches are per-process), and
+  the returned :class:`MatrixRun` carries only arrays/floats, so results
+  are again identical to serial execution.
 """
 
 from __future__ import annotations
@@ -39,11 +45,13 @@ from __future__ import annotations
 import math
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.formats.feinberg import FeinbergSpec
 from repro.formats.refloat import ReFloatSpec
@@ -58,6 +66,7 @@ __all__ = [
     "PLATFORMS",
     "SOLVERS",
     "MatrixRun",
+    "asset_cache_stats",
     "default_spec_for",
     "matrix_assets",
     "run_matrix",
@@ -76,10 +85,96 @@ _SOLVER_SHAPE = {"cg": (1, 6), "bicgstab": (2, 12)}
 #: In-process cache of full-suite runs, keyed (scale, solver).
 _CACHE: Dict[tuple, Dict[int, "MatrixRun"]] = {}
 
-#: In-process cache of per-matrix assets, keyed (sid, scale).
-_ASSETS: Dict[tuple, "MatrixAssets"] = {}
+#: In-process LRU cache of per-matrix assets, keyed (sid, scale); most
+#: recently used entries sit at the end.  Guarded by _CACHE_LOCK, with the
+#: estimated per-entry bytes in _ASSET_SIZES and their sum in _ASSET_BYTES.
+_ASSETS: "OrderedDict[tuple, MatrixAssets]" = OrderedDict()
+_ASSET_SIZES: Dict[tuple, int] = {}
+_ASSET_BYTES: int = 0
 
 _CACHE_LOCK = threading.Lock()
+
+_EXECUTORS = ("thread", "process")
+
+#: Persistent process pool (created on first use, resized on demand) so the
+#: per-worker asset caches survive across run_suite calls — the cg sweep
+#: warms the workers the bicgstab sweep then reuses.  Guarded by _CACHE_LOCK.
+_PROCESS_POOL: Optional[ProcessPoolExecutor] = None
+_PROCESS_POOL_WIDTH: int = 0
+
+
+def _process_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared process pool, recreated only when the width changes."""
+    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+    with _CACHE_LOCK:
+        if _PROCESS_POOL is None or _PROCESS_POOL_WIDTH != workers:
+            if _PROCESS_POOL is not None:
+                _PROCESS_POOL.shutdown(wait=False)
+            _PROCESS_POOL = ProcessPoolExecutor(max_workers=workers)
+            _PROCESS_POOL_WIDTH = workers
+        return _PROCESS_POOL
+
+
+def _shutdown_process_pool() -> None:
+    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+    with _CACHE_LOCK:
+        pool, _PROCESS_POOL, _PROCESS_POOL_WIDTH = _PROCESS_POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def _asset_cache_budget() -> Optional[int]:
+    """The asset-cache byte budget from ``REPRO_ASSET_CACHE_MB`` (None = off)."""
+    env = os.environ.get("REPRO_ASSET_CACHE_MB")
+    if not env:
+        return None
+    try:
+        mb = float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_ASSET_CACHE_MB must be a number (megabytes), got {env!r}"
+        ) from None
+    if mb <= 0:
+        raise ValueError(
+            f"REPRO_ASSET_CACHE_MB must be positive, got {env!r}")
+    return int(mb * (1 << 20))
+
+
+def _approx_nbytes(*roots) -> int:
+    """Estimated resident bytes of the ndarray/CSR payloads under ``roots``.
+
+    Walks instance attributes, deduplicating shared arrays by identity (the
+    partition, quantised matrix and operators alias each other heavily), so
+    the figure tracks what the cache actually pins.  State that evicting an
+    asset cannot free is excluded: :class:`VectorConverterPlan` instances
+    are owned by the process-wide ``vector_converter_plan`` LRU (they
+    outlive the asset), and per-thread scratch is transient — charging
+    either here would make eviction subtract bytes that stay resident.
+    """
+    from repro.formats.refloat import VectorConverterPlan
+
+    seen, total = set(), 0
+    stack = list(roots)
+    while stack:
+        obj = stack.pop()
+        if obj is None or id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            total += obj.nbytes
+        elif sp.issparse(obj):
+            stack.extend(getattr(obj, name) for name in
+                         ("data", "indices", "indptr", "row", "col")
+                         if hasattr(obj, name))
+        elif isinstance(obj, dict):
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple)):
+            stack.extend(obj)
+        elif isinstance(obj, (threading.local, VectorConverterPlan)):
+            continue  # not freed by evicting this asset (see docstring)
+        elif hasattr(obj, "__dict__"):
+            stack.extend(vars(obj).values())
+    return total
 
 
 @dataclass
@@ -114,12 +209,20 @@ class MatrixAssets:
 
 
 def matrix_assets(sid: int, scale: str) -> MatrixAssets:
-    """Build (or fetch) the shared per-matrix assets for ``(sid, scale)``."""
+    """Build (or fetch) the shared per-matrix assets for ``(sid, scale)``.
+
+    Cache hits refresh the entry's LRU position; inserts charge the entry's
+    estimated bytes against the ``REPRO_ASSET_CACHE_MB`` budget and evict
+    least-recently-used entries until the budget holds again (the newest
+    entry itself is never evicted — a single oversized matrix still runs).
+    """
+    global _ASSET_BYTES
     key = (sid, scale)
     with _CACHE_LOCK:
         cached = _ASSETS.get(key)
-    if cached is not None:
-        return cached
+        if cached is not None:
+            _ASSETS.move_to_end(key)
+            return cached
     info = PAPER_SUITE[sid]
     A = info.matrix(scale)
     blocked = BlockedMatrix(A, b=7)
@@ -130,25 +233,48 @@ def matrix_assets(sid: int, scale: str) -> MatrixAssets:
         exact_op=ExactOperator(A),
         refloat_op=ReFloatOperator(A, spec, blocked=blocked),
     )
+    budget = _asset_cache_budget()
+    nbytes = _approx_nbytes(assets)
     with _CACHE_LOCK:
         # Another thread may have raced us; keep exactly one copy.
-        assets = _ASSETS.setdefault(key, assets)
+        if key in _ASSETS:
+            _ASSETS.move_to_end(key)
+            return _ASSETS[key]
+        _ASSETS[key] = assets
+        _ASSET_SIZES[key] = nbytes
+        _ASSET_BYTES += nbytes
+        if budget is not None:
+            while _ASSET_BYTES > budget and len(_ASSETS) > 1:
+                old_key, _ = _ASSETS.popitem(last=False)
+                _ASSET_BYTES -= _ASSET_SIZES.pop(old_key)
     return assets
+
+
+def asset_cache_stats() -> Dict[str, int]:
+    """Snapshot of the asset cache: entries and estimated resident bytes."""
+    with _CACHE_LOCK:
+        return {"entries": len(_ASSETS), "bytes": _ASSET_BYTES}
 
 
 def clear_run_caches() -> None:
     """Drop the in-process caches (tests and memory-sensitive callers).
 
-    Clears the run and asset caches here plus the vector-converter plan
-    cache, which pins O(n) index/scratch state per ``(n, spec)`` pair the
-    operators have touched.
+    Clears the run and asset caches — including the asset cache's LRU byte
+    accounting, which must restart from zero — plus the vector-converter
+    plan cache, which pins O(n) index/scratch state per ``(n, spec)`` pair
+    the operators have touched.  The persistent process pool (whose workers
+    hold their own per-process caches) is shut down too.
     """
     from repro.formats.refloat import vector_converter_plan
 
+    global _ASSET_BYTES
     with _CACHE_LOCK:
         _CACHE.clear()
         _ASSETS.clear()
+        _ASSET_SIZES.clear()
+        _ASSET_BYTES = 0
     vector_converter_plan.cache_clear()
+    _shutdown_process_pool()
 
 
 def default_spec_for(sid: int) -> ReFloatSpec:
@@ -248,22 +374,53 @@ def _suite_workers(n_tasks: int) -> int:
             return max(1, int(env))
         except ValueError:
             raise ValueError(
-                f"REPRO_SUITE_WORKERS must be an integer, got {env!r}"
+                f"REPRO_SUITE_WORKERS must be an integer, "
+                f"got REPRO_SUITE_WORKERS={env!r}"
             ) from None
     return max(1, min(n_tasks, os.cpu_count() or 1))
 
 
+def _suite_executor(executor: Optional[str] = None) -> str:
+    """Resolve the fan-out executor: argument, then env, then ``thread``."""
+    if executor is None:
+        executor = os.environ.get("REPRO_SUITE_EXECUTOR") or "thread"
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"REPRO_SUITE_EXECUTOR must be one of {_EXECUTORS}, "
+                f"got REPRO_SUITE_EXECUTOR={executor!r}")
+    elif executor not in _EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    return executor
+
+
+def _suite_task(sid: int, solver: str, scale: str) -> MatrixRun:
+    """Picklable process-pool payload: one matrix run, assets cached locally.
+
+    Executes in a worker process, where the module-level asset cache is
+    per-process state: the first task touching a ``(sid, scale)`` pair
+    builds and caches the assets, later tasks in the same worker reuse them.
+    The returned :class:`MatrixRun` carries only plain arrays and floats.
+    """
+    return run_matrix(sid, solver, scale)
+
+
 def run_suite(solver: str, scale: Optional[str] = None,
               use_cache: bool = True,
-              max_workers: Optional[int] = None) -> Dict[int, MatrixRun]:
+              max_workers: Optional[int] = None,
+              executor: Optional[str] = None) -> Dict[int, MatrixRun]:
     """Run (or fetch) the full 12-matrix evaluation for one solver.
 
-    The per-matrix runs are independent, so they fan out over a thread pool
+    The per-matrix runs are independent, so they fan out over an executor
     (``max_workers`` or ``REPRO_SUITE_WORKERS``; default: one worker per
-    matrix up to the CPU count).  Results are bit-identical to serial
-    execution and returned in Table V order.
+    matrix up to the CPU count).  ``executor`` — or ``REPRO_SUITE_EXECUTOR``
+    — selects ``"thread"`` (default; shares the in-process asset cache) or
+    ``"process"`` (GIL-free; each worker process keeps its own asset cache,
+    the right choice for ``paper``-scale sweeps).  Results are identical to
+    serial execution either way and returned in Table V order.
     """
     scale = resolve_scale(scale)
+    executor = _suite_executor(executor)
     key = (scale, solver)
     if use_cache:
         with _CACHE_LOCK:
@@ -274,6 +431,11 @@ def run_suite(solver: str, scale: Optional[str] = None,
     workers = max_workers if max_workers is not None else _suite_workers(len(ids))
     if workers <= 1:
         runs = {sid: run_matrix(sid, solver, scale) for sid in ids}
+    elif executor == "process":
+        pool = _process_pool(workers)
+        futures = {sid: pool.submit(_suite_task, sid, solver, scale)
+                   for sid in ids}
+        runs = {sid: futures[sid].result() for sid in ids}
     else:
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="suite") as pool:

@@ -28,8 +28,6 @@ change") — this staleness is exactly the flaw the paper identifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 from repro.formats import ieee

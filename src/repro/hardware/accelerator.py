@@ -20,7 +20,7 @@ consumes (Eq. 2 / the [32] mapping) and how many cycles one block MVM takes
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.formats.refloat import ReFloatSpec

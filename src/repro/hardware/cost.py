@@ -13,8 +13,6 @@ ReFloat(7,3,3)(3,8) -> 48 crossbars / 28 cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.formats.refloat import ReFloatSpec
 
 __all__ = [

@@ -58,10 +58,26 @@ class NoisyReFloatOperator:
         xq = self._base.quantize_input(x, reuse=True)
         if self.sigma == 0.0:
             return self.A @ xq
+        return self._noisy_matrix() @ xq
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched :meth:`matvec` with ONE conductance realisation per batch.
+
+        A batched apply models one operand program serving all ``k`` inputs
+        back-to-back, so the whole batch sees the same RTN draw (with
+        ``fresh_per_apply``, the next batch redraws).  With ``sigma == 0``
+        this is bit-identical per column to the matvec path.
+        """
+        Xq = self._base.quantize_input_batch(X, reuse=True)
+        if self.sigma == 0.0:
+            return self.A @ Xq
+        return self._noisy_matrix() @ Xq
+
+    def _noisy_matrix(self) -> sp.csr_matrix:
         factor = self._draw() if self.fresh_per_apply else self._frozen
-        noisy = sp.csr_matrix((self.A.data * factor, self.A.indices, self.A.indptr),
-                              shape=self.shape)
-        return noisy @ xq
+        return sp.csr_matrix(
+            (self.A.data * factor, self.A.indices, self.A.indptr),
+            shape=self.shape)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NoisyReFloatOperator(sigma={self.sigma}, {self.spec})"

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.formats.refloat import (
     DEFAULT_SPEC,
@@ -81,6 +80,28 @@ class ReFloatOperator:
         """
         xq, _ = self._plan.convert(np.asarray(x, dtype=np.float64))
         return self.A @ xq
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched :meth:`matvec`: quantise and multiply ``k`` columns at once.
+
+        One plan-backed batch conversion plus one sparse SpMM serve every
+        right-hand side; column ``j`` is bit-identical to ``matvec(X[:, j])``
+        (CSR accumulates each output element over the same index order in
+        both kernels — asserted by the fast-path tests).
+        """
+        Xq, _ = self._plan.convert_batch(np.asarray(X, dtype=np.float64))
+        return self.A @ Xq
+
+    def quantize_input_batch(self, X: np.ndarray, reuse: bool = False) -> np.ndarray:
+        """Batched :meth:`quantize_input` — ``(n, k)`` columns at once.
+
+        ``reuse=True`` returns the plan's per-thread batch scratch buffer
+        (overwritten by the next batch conversion of the same width on this
+        thread) for hot-path wrapping operators.
+        """
+        Xq, _ = self._plan.convert_batch(np.asarray(X, dtype=np.float64),
+                                         reuse=reuse)
+        return Xq
 
     def quantize_input(self, x: np.ndarray, reuse: bool = False) -> np.ndarray:
         """The vector the crossbars actually see (for diagnostics).

@@ -6,8 +6,10 @@ from repro.solvers.base import (
     MatrixOperator,
     SolverResult,
     as_operator,
+    operator_matmat,
 )
 from repro.solvers.bicgstab import bicgstab
+from repro.solvers.block_cg import BlockSolverResult, block_cg, solve_many
 from repro.solvers.cg import cg
 from repro.solvers.gmres import gmres
 from repro.solvers.precond import (
@@ -19,14 +21,18 @@ from repro.solvers.refinement import RefinementResult, iterative_refinement
 from repro.solvers.stationary import jacobi, richardson
 
 __all__ = [
+    "BlockSolverResult",
     "ConvergenceCriterion",
     "LinearOperator",
     "MatrixOperator",
     "SolverResult",
     "as_operator",
+    "operator_matmat",
     "bicgstab",
+    "block_cg",
     "cg",
     "gmres",
+    "solve_many",
     "ilu_preconditioner",
     "jacobi_preconditioner",
     "ssor_preconditioner",

@@ -11,7 +11,7 @@ accelerator's double-precision MAC units (Fig. 6a).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, runtime_checkable
 
 import numpy as np
 import scipy.sparse as sp
@@ -22,7 +22,9 @@ __all__ = [
     "SolverResult",
     "ConvergenceCriterion",
     "as_operator",
+    "operator_matmat",
     "check_system",
+    "check_block_system",
     "quiet_fp_errors",
 ]
 
@@ -65,6 +67,15 @@ class MatrixOperator:
     def matvec(self, x: np.ndarray) -> np.ndarray:
         return self.A @ x
 
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Batched :meth:`matvec`: one SpMM over ``(n, k)`` columns.
+
+        CSR SpMM accumulates every output element over the same index order
+        as the matvec kernel, so column ``j`` is bit-identical to
+        ``matvec(X[:, j])``.
+        """
+        return self.A @ np.asarray(X, dtype=np.float64)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MatrixOperator(shape={self.shape}, nnz={self.A.nnz})"
 
@@ -74,6 +85,28 @@ def as_operator(A) -> LinearOperator:
     if isinstance(A, LinearOperator) and not sp.issparse(A):
         return A
     return MatrixOperator(A)
+
+
+def operator_matmat(op: LinearOperator, X: np.ndarray) -> np.ndarray:
+    """Apply an operator to ``k`` columns, batched when the operator can.
+
+    Routes through ``op.matmat`` (the fast multi-RHS path of the platform
+    operators) when present; any operator exposing only the minimal
+    ``matvec`` protocol gets a per-column loop, so block solvers run on
+    every platform.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D (n, k), got shape {X.shape}")
+    if X.shape[1] == 0:
+        raise ValueError("X must have at least one column")
+    mm = getattr(op, "matmat", None)
+    if mm is not None:
+        return np.asarray(mm(X), dtype=np.float64)
+    out = np.empty((op.shape[0], X.shape[1]), dtype=np.float64)
+    for j in range(X.shape[1]):
+        out[:, j] = op.matvec(X[:, j])
+    return out
 
 
 @dataclass
@@ -131,6 +164,24 @@ class ConvergenceCriterion:
 
     def threshold(self, b_norm: float) -> float:
         return self.tol * b_norm if self.relative else self.tol
+
+
+def check_block_system(op: LinearOperator, B) -> np.ndarray:
+    """Validate operator/block compatibility; return ``B`` as (n, k) float64."""
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim != 2:
+        raise ValueError(f"B must be 2-D (n, k), got shape {B.shape}")
+    m, n = op.shape
+    if m != n:
+        raise ValueError(f"operator must be square, got {op.shape}")
+    if B.shape[0] != n:
+        raise ValueError(
+            f"dimension mismatch: operator {op.shape}, B {B.shape}")
+    if B.shape[1] == 0:
+        raise ValueError("B must have at least one column")
+    if not np.all(np.isfinite(B)):
+        raise ValueError("B contains non-finite values")
+    return B
 
 
 def check_system(op: LinearOperator, b: np.ndarray) -> np.ndarray:

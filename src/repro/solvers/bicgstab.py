@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.solvers.base import (
     ConvergenceCriterion,
-    LinearOperator,
     SolverResult,
     as_operator,
     check_system,

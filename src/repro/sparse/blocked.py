@@ -17,15 +17,14 @@ the Table VIII memory accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import cached_property
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.formats import ieee
-from repro.formats.refloat import ReFloatSpec, offset_bounds, quantize_values
+from repro.formats.refloat import ReFloatSpec, quantize_values
 from repro.util.validation import check_nonnegative_int
 
 __all__ = ["BlockedMatrix", "block_coordinates"]

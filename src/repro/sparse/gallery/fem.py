@@ -16,7 +16,7 @@ matrix scattered into COO triplets.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -14,7 +14,6 @@ all-positive mass matrices (see DESIGN.md).
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.sparse.gallery.fem import assemble, element_mass

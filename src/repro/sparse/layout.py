@@ -13,8 +13,6 @@ that block-major reading is (almost entirely) streaming.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 import scipy.sparse as sp
 

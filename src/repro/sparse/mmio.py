@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 import scipy.sparse as sp

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import warnings
-from typing import Optional
-
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla

@@ -7,7 +7,7 @@ the conversion so every entry point behaves identically.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.formats import ReFloatSpec
 from repro.sparse.gallery import laplacian_2d, wathen

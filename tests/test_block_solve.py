@@ -1,0 +1,210 @@
+"""Block CG / solve_many: correctness, batching economy, breakdowns.
+
+The block solver is tolerance-pinned against the per-column single-vector
+solvers (same criterion, same operator), and the batching economy — the
+acceptance criterion of the multi-RHS pipeline — is asserted with the
+counting operator: ``block_cg`` with ``k = 8`` right-hand sides on a suite
+matrix must perform *measurably fewer* engine contractions than eight
+independent ``cg`` solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.operators import CountingOperator, ExactOperator, ReFloatOperator
+from repro.solvers import (
+    ConvergenceCriterion,
+    block_cg,
+    cg,
+    solve_many,
+)
+from repro.sparse.gallery import build_matrix, laplacian_2d
+
+
+def random_float_array(rng, n, exp_range=(-20, 20), include_zero=False):
+    """Random finite doubles with a controlled exponent spread."""
+    vals = rng.standard_normal(n) * np.exp2(rng.uniform(*exp_range, n))
+    if include_zero and n > 2:
+        vals[rng.integers(0, n, max(1, n // 10))] = 0.0
+    return vals
+
+
+@pytest.fixture
+def suite_matrix():
+    return build_matrix(353, "test")     # crystm01 analog, SPD
+
+
+def _rhs_block(A, k, rng):
+    """k right-hand sides with known solutions (columns of X are random)."""
+    X = rng.standard_normal((A.shape[0], k)) + 1.0
+    return A @ X, X
+
+
+class TestBlockCG:
+    def test_solves_all_columns(self, rng, small_spd):
+        B, X_true = _rhs_block(small_spd, 6, rng)
+        res = block_cg(small_spd, B)
+        assert res.converged and res.breakdown is None
+        assert bool(res.converged_mask.all())
+        crit = ConvergenceCriterion()
+        for j in range(6):
+            r = np.linalg.norm(B[:, j] - small_spd @ res.X[:, j])
+            # True residual within a small factor of the recursive criterion.
+            assert r < 10 * crit.tol * np.linalg.norm(B[:, j])
+
+    def test_tolerance_pinned_against_per_column_cg(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 4, rng)
+        crit = ConvergenceCriterion(tol=1e-10)
+        res = block_cg(small_spd, B, criterion=crit)
+        singles = solve_many(small_spd, B, solver="cg", criterion=crit)
+        assert res.converged and all(s.converged for s in singles)
+        for j, s in enumerate(singles):
+            scale = np.linalg.norm(s.x)
+            assert np.linalg.norm(res.X[:, j] - s.x) < 1e-6 * scale
+
+    def test_fewer_iterations_than_worst_single(self, rng, small_spd):
+        # The k-dimensional search space can only help: the block iteration
+        # count never exceeds the worst single-vector count.
+        B, _ = _rhs_block(small_spd, 8, rng)
+        res = block_cg(small_spd, B)
+        singles = solve_many(small_spd, B, solver="cg")
+        assert res.converged
+        assert res.iterations <= max(s.iterations for s in singles)
+
+    def test_batching_economy_on_suite_matrix(self, rng, suite_matrix):
+        # Acceptance criterion: k=8 block solve uses measurably fewer engine
+        # contractions (counting operator) than 8 independent cg solves.
+        B, _ = _rhs_block(suite_matrix, 8, rng)
+        counted_block = CountingOperator(suite_matrix)
+        res = block_cg(counted_block, B)
+        assert res.converged
+        assert counted_block.count == res.matmats
+        counted_loop = CountingOperator(suite_matrix)
+        singles = [cg(counted_loop, B[:, j]) for j in range(8)]
+        assert all(s.converged for s in singles)
+        assert counted_block.count < counted_loop.count / 2
+        # The block path pushed the same columns through far fewer programs.
+        assert counted_block.columns == 8 * counted_block.count
+
+    def test_refloat_platform_block_solve(self, rng, suite_matrix):
+        # The quantised platform converges under block CG too, through its
+        # batched matmat fast path.  Like single-vector CG on this platform,
+        # convergence is in the solver's recursive residual; the solution is
+        # tolerance-pinned against per-column cg on the same operator (both
+        # solve the same quantised system).
+        op = ReFloatOperator(suite_matrix)
+        B, _ = _rhs_block(suite_matrix, 4, rng)
+        crit = ConvergenceCriterion(tol=1e-6)
+        res = block_cg(op, B, criterion=crit)
+        singles = solve_many(op, B, solver="cg", criterion=crit)
+        assert res.converged and all(s.converged for s in singles)
+        b_norms = np.linalg.norm(B, axis=0)
+        assert bool((res.residual_norms < crit.tol * b_norms).all())
+        for j, s in enumerate(singles):
+            r_op = np.linalg.norm(B[:, j] - op.matvec(res.X[:, j]))
+            assert r_op < 1e-3 * b_norms[j]   # recursive-vs-actual drift
+            diff = np.linalg.norm(res.X[:, j] - s.x) / np.linalg.norm(s.x)
+            assert diff < 1e-2
+
+    def test_x0_and_history(self, rng, small_spd):
+        B, X_true = _rhs_block(small_spd, 3, rng)
+        res0 = block_cg(small_spd, B, X0=np.zeros_like(B))
+        res_warm = block_cg(small_spd, B, X0=X_true)
+        assert res_warm.iterations == 0 and res_warm.converged
+        assert len(res0.residual_history) == res0.iterations + 1
+        assert res0.residual_history[0].shape == (3,)
+        norms = [h.max() for h in res0.residual_history]
+        assert norms[-1] < norms[0]
+
+    def test_callback(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 2, rng)
+        seen = []
+        block_cg(small_spd, B,
+                 callback=lambda it, X, r: seen.append((it, r.copy())))
+        assert [it for it, _ in seen] == list(range(1, len(seen) + 1))
+
+    def test_zero_rhs_block(self, small_spd):
+        res = block_cg(small_spd, np.zeros((small_spd.shape[0], 3)))
+        assert res.converged and res.iterations == 0
+        assert np.all(res.X == 0.0)
+
+    def test_duplicate_columns_break_down(self, rng, small_spd):
+        b = small_spd @ (random_float_array(rng, small_spd.shape[0]) + 3.0)
+        B = np.column_stack([b, b])      # rank-deficient block
+        res = block_cg(small_spd, B)
+        assert not res.converged
+        assert res.breakdown is not None
+
+    def test_fallback_recovers_near_dependent_columns(self, rng, small_spd):
+        # Nearly-parallel columns rank-deplete the search block mid-solve;
+        # fallback=True repairs the unconverged columns with per-column cg.
+        x1 = rng.standard_normal(small_spd.shape[0])
+        x3 = rng.standard_normal(small_spd.shape[0])
+        B = small_spd @ np.column_stack(
+            [x1, x1 + 1e-9 * rng.standard_normal(x1.size), x3])
+        plain = block_cg(small_spd, B)
+        if plain.breakdown is None:      # machine-dependent; usually breaks
+            pytest.skip("block did not break down on this BLAS")
+        res = block_cg(small_spd, B, fallback=True)
+        assert res.converged and bool(res.converged_mask.all())
+        assert "recovered per-column" in res.breakdown
+        for j in range(3):
+            r = np.linalg.norm(B[:, j] - small_spd @ res.X[:, j])
+            assert r < 10 * ConvergenceCriterion().tol * np.linalg.norm(B[:, j])
+
+    def test_budget_exhaustion(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 2, rng)
+        res = block_cg(small_spd, B,
+                       criterion=ConvergenceCriterion(max_iterations=2))
+        assert not res.converged and res.iterations == 2
+        assert res.breakdown is None
+
+    def test_validation(self, rng, small_spd):
+        n = small_spd.shape[0]
+        with pytest.raises(ValueError):
+            block_cg(small_spd, np.ones(n))             # 1-D B
+        with pytest.raises(ValueError):
+            block_cg(small_spd, np.ones((n + 1, 2)))    # dimension mismatch
+        with pytest.raises(ValueError):
+            block_cg(small_spd, np.ones((n, 0)))        # no columns
+        B = np.ones((n, 2))
+        with pytest.raises(ValueError):
+            block_cg(small_spd, B, X0=np.ones((n, 3)))  # bad X0 shape
+        B[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            block_cg(small_spd, B)
+
+
+class TestSolveMany:
+    def test_matches_individual_solves(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 3, rng)
+        many = solve_many(small_spd, B, solver="cg")
+        op = ExactOperator(small_spd)
+        for j, res in enumerate(many):
+            single = cg(op, B[:, j])
+            assert res.iterations == single.iterations
+            np.testing.assert_array_equal(res.x, single.x)
+
+    def test_callable_solver_and_kwargs(self, rng, small_spd):
+        from repro.solvers import bicgstab, jacobi_preconditioner
+
+        B, _ = _rhs_block(small_spd, 2, rng)
+        many = solve_many(small_spd, B, solver=bicgstab)
+        assert all(r.converged for r in many)
+        precond = jacobi_preconditioner(small_spd)
+        many_pc = solve_many(small_spd, B, solver="cg",
+                             preconditioner=precond)
+        assert all(r.converged for r in many_pc)
+
+    def test_x0_per_column(self, rng):
+        A = laplacian_2d(7)
+        B, X_true = _rhs_block(A, 2, rng)
+        many = solve_many(A, B, solver="cg", X0=X_true)
+        assert all(r.iterations == 0 for r in many)
+
+    def test_unknown_solver_and_validation(self, rng, small_spd):
+        B = np.ones((small_spd.shape[0], 2))
+        with pytest.raises(KeyError):
+            solve_many(small_spd, B, solver="sor")
+        with pytest.raises(ValueError):
+            solve_many(small_spd, B, X0=np.ones(3))

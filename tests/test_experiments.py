@@ -2,12 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.common import (
-    MatrixRun,
     default_spec_for,
     geometric_mean,
     run_matrix,
@@ -29,7 +27,7 @@ class TestReporting:
         out = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
         lines = out.splitlines()
         assert lines[0] == "T"
-        assert len(set(len(l) for l in lines[1:])) == 1  # aligned
+        assert len(set(len(line) for line in lines[1:])) == 1  # aligned
 
 
 class TestCommon:

@@ -338,6 +338,238 @@ class TestBlockedEngine:
         np.testing.assert_array_equal(engine.multiply(x), first)
 
 
+class TestConverterBatch:
+    """convert_batch must be bit-identical per column to the 1-D converter."""
+
+    @pytest.mark.parametrize("spec", EDGE_SPECS, ids=str)
+    def test_bit_identical_per_column(self, rng, spec):
+        size = 1 << spec.b
+        for n in (3 * size, 3 * size + size // 2 + 1, max(1, size // 2)):
+            X = np.column_stack([
+                random_float_array(rng, n, exp_range=(-30, 30),
+                                   include_zero=True)
+                for _ in range(5)])
+            plan = vector_converter_plan(n, spec)
+            Xq, ebv = plan.convert_batch(X)
+            assert Xq.shape == X.shape and ebv.shape == (plan.nseg, 5)
+            for j in range(5):
+                ref_xq, ref_ebv = quantize_vector_reference(X[:, j], spec)
+                np.testing.assert_array_equal(Xq[:, j], ref_xq)
+                np.testing.assert_array_equal(ebv[:, j], ref_ebv)
+
+    def test_dead_segment_and_exact_grid_fallback(self, rng):
+        # A dead segment (or an exact-grid segment) anywhere in the batch
+        # routes through the per-column reference path; identity must hold
+        # for every column, not just the offending one.
+        spec = ReFloatSpec(b=3, e=3, f=3, ev=3, fv=8)
+        n = 4 * 8
+        X = np.column_stack([random_float_array(rng, n, include_zero=True)
+                             for _ in range(3)])
+        X[8:16, 1] = 0.0                 # dead segment, middle column
+        plan = vector_converter_plan(n, spec)
+        Xq, ebv = plan.convert_batch(X)
+        for j in range(3):
+            ref_xq, ref_ebv = quantize_vector_reference(X[:, j], spec)
+            np.testing.assert_array_equal(Xq[:, j], ref_xq)
+            np.testing.assert_array_equal(ebv[:, j], ref_ebv)
+        tiny = ReFloatSpec(b=3, e=3, f=3, ev=11, fv=52)
+        T = np.column_stack([random_float_array(rng, 16, exp_range=(-600, -400)),
+                             random_float_array(rng, 16, exp_range=(-2, 2))])
+        bq, bebv = vector_converter_plan(16, tiny).convert_batch(T)
+        for j in range(2):
+            ref_xq, ref_ebv = quantize_vector_reference(T[:, j], tiny)
+            np.testing.assert_array_equal(bq[:, j], ref_xq)
+            np.testing.assert_array_equal(bebv[:, j], ref_ebv)
+
+    def test_validation_and_nonfinite(self, rng):
+        plan = vector_converter_plan(16, DEFAULT_SPEC)
+        with pytest.raises(ValueError):
+            plan.convert_batch(np.ones(16))            # 1-D
+        with pytest.raises(ValueError):
+            plan.convert_batch(np.ones((8, 2)))        # wrong length
+        with pytest.raises(ValueError):
+            plan.convert_batch(np.ones((16, 0)))       # no columns
+        X = np.ones((16, 2))
+        X[3, 1] = np.inf
+        with pytest.raises(ValueError):
+            plan.convert_batch(X)
+
+    def test_scratch_reuse_and_fresh_copies(self, rng):
+        plan = vector_converter_plan(64, DEFAULT_SPEC)
+        X1 = np.column_stack([random_float_array(rng, 64) for _ in range(3)])
+        X2 = np.column_stack([random_float_array(rng, 64) for _ in range(3)])
+        r1, _ = plan.convert_batch(X1)
+        kept = r1.copy()
+        r2, _ = plan.convert_batch(X2)
+        assert r2 is r1                  # same per-(thread, k) scratch...
+        assert not np.array_equal(kept, r2)
+        fresh, _ = plan.convert_batch(X1, reuse=False)
+        assert fresh is not r1           # ...unless a copy is requested
+        np.testing.assert_array_equal(fresh, kept)
+
+    def test_single_column_matches_convert(self, rng):
+        plan = vector_converter_plan(40, DEFAULT_SPEC)
+        x = random_float_array(rng, 40, include_zero=True)
+        xq, ebv = plan.convert(x, reuse=False)
+        bq, bebv = plan.convert_batch(x[:, None])
+        np.testing.assert_array_equal(bq[:, 0], xq)
+        np.testing.assert_array_equal(bebv[:, 0], ebv)
+
+
+class TestEngineBatch:
+    """Batched engine MVMs must be bit-identical to their per-vector paths."""
+
+    def test_processing_engine_batch(self, rng):
+        spec = ReFloatSpec(b=3, e=3, f=3, ev=3, fv=8)
+        block = random_float_array(rng, 64, exp_range=(-4, 4)).reshape(8, 8)
+        engine = ProcessingEngine(block, spec)
+        S = np.stack([random_float_array(rng, 8, exp_range=(-5, 3),
+                                         include_zero=True)
+                      for _ in range(5)])
+        batched = engine.multiply_batch(S)
+        for i in range(5):
+            np.testing.assert_array_equal(batched[i], engine.multiply(S[i]))
+        with pytest.raises(ValueError):
+            engine.multiply_batch(S[:, :5])
+
+    @pytest.mark.parametrize("b,n,density", [(3, 24, 0.3), (3, 29, 0.2),
+                                             (2, 17, 0.4)])
+    def test_blocked_engine_batch(self, rng, b, n, density):
+        spec = ReFloatSpec(b=b, e=3, f=3, ev=3, fv=8)
+        A = sp.random(n, n, density=density, random_state=int(n + b),
+                      data_rvs=lambda k: random_float_array(rng, k, (-4, 4)))
+        engine = BlockedEngine(BlockedMatrix(A, b=b), spec)
+        X = np.column_stack([
+            random_float_array(rng, n, exp_range=(-5, 3), include_zero=True)
+            for _ in range(4)])
+        batched = engine.multiply_batch(X)
+        assert batched.shape == (n, 4)
+        for j in range(4):
+            np.testing.assert_array_equal(batched[:, j],
+                                          engine.multiply(X[:, j]))
+
+    def test_blocked_engine_batch_validation(self):
+        spec = ReFloatSpec(b=2, e=3, f=3, ev=3, fv=8)
+        engine = BlockedEngine(BlockedMatrix(sp.eye(4, format="csr"), b=2),
+                               spec)
+        with pytest.raises(ValueError):
+            engine.multiply_batch(np.ones(4))           # 1-D
+        with pytest.raises(ValueError):
+            engine.multiply_batch(np.ones((5, 2)))      # wrong rows
+        with pytest.raises(ValueError, match="binary64 normal range"):
+            engine.multiply_batch(np.full((4, 2), 2.0 ** -1015))
+
+
+class TestOperatorMatmat:
+    """Operator matmat must be bit-identical per column to matvec."""
+
+    def _assert_columns_match(self, op, X):
+        Y = op.matmat(X)
+        assert Y.shape == X.shape
+        for j in range(X.shape[1]):
+            np.testing.assert_array_equal(Y[:, j], op.matvec(X[:, j]))
+
+    def test_refloat_matmat(self, rng, small_wathen):
+        spec = ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)
+        op = ReFloatOperator(small_wathen, spec)
+        X = np.column_stack([random_float_array(rng, small_wathen.shape[0])
+                             for _ in range(6)])
+        self._assert_columns_match(op, X)
+        np.testing.assert_array_equal(
+            op.quantize_input_batch(X)[:, 2],
+            quantize_vector_reference(X[:, 2], spec)[0])
+
+    def test_feinberg_matmat(self, rng, small_wathen):
+        op = FeinbergOperator(small_wathen)
+        X = np.column_stack([random_float_array(rng, small_wathen.shape[0])
+                             for _ in range(4)])
+        self._assert_columns_match(op, X)
+        with pytest.raises(ValueError):
+            op.matmat(X[:, 0])
+
+    def test_feinberg_block_anchor_matmat(self, rng, small_wathen):
+        op = FeinbergOperator(small_wathen, block_b=5)
+        X = np.column_stack([random_float_array(rng, small_wathen.shape[0])
+                             for _ in range(3)])
+        self._assert_columns_match(op, X)
+
+    def test_noisy_matmat_sigma_zero(self, rng, small_spd):
+        op = NoisyReFloatOperator(small_spd, sigma=0.0)
+        X = np.column_stack([random_float_array(rng, small_spd.shape[0])
+                             for _ in range(3)])
+        self._assert_columns_match(op, X)
+
+    def test_noisy_matmat_one_draw_per_batch(self, rng, small_spd):
+        # The batch sees ONE conductance realisation; a seed-matched looped
+        # matvec draws k times, so equality must hold against a single-draw
+        # reference instead.
+        spec = ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)
+        op = NoisyReFloatOperator(small_spd, spec, sigma=0.05, seed=11)
+        ref = NoisyReFloatOperator(small_spd, spec, sigma=0.05, seed=11)
+        X = np.column_stack([random_float_array(rng, small_spd.shape[0])
+                             for _ in range(3)])
+        Y = op.matmat(X)
+        factor = 1.0 + ref.sigma * ref.rng.standard_normal(ref.A.nnz)
+        noisy = sp.csr_matrix(
+            (ref.A.data * factor, ref.A.indices, ref.A.indptr),
+            shape=ref.shape)
+        Xq = ref._base.quantize_input_batch(X)
+        np.testing.assert_array_equal(Y, noisy @ Xq)
+
+    def test_exact_operator_matmat(self, rng, small_spd):
+        from repro.operators import ExactOperator
+
+        op = ExactOperator(small_spd)
+        X = np.column_stack([random_float_array(rng, small_spd.shape[0])
+                             for _ in range(5)])
+        self._assert_columns_match(op, X)
+
+    def test_counting_operator_matmat(self, rng, small_spd):
+        from repro.operators import CountingOperator
+        from repro.solvers.base import operator_matmat
+
+        op = CountingOperator(small_spd)
+        X = np.column_stack([random_float_array(rng, small_spd.shape[0])
+                             for _ in range(4)])
+        Y = op.matmat(X)
+        assert op.count == 1 and op.columns == 4
+        op.matvec(X[:, 0])
+        assert op.count == 2 and op.columns == 5
+        op.reset()
+        assert op.count == 0 and op.columns == 0
+        np.testing.assert_array_equal(Y, operator_matmat(op.inner, X))
+
+    def test_counting_operator_failed_apply_not_counted(self, rng, small_spd):
+        from repro.operators import CountingOperator
+
+        op = CountingOperator(small_spd)
+        with pytest.raises(ValueError):
+            op.matmat(np.ones(small_spd.shape[0]))      # 1-D: rejected
+        with pytest.raises(ValueError):
+            op.matmat(np.ones((3, 2)))                  # wrong length
+        assert op.count == 0 and op.columns == 0
+
+    def test_operator_matmat_fallback_loop(self, rng, small_spd):
+        from repro.solvers.base import operator_matmat
+
+        class MatvecOnly:
+            def __init__(self, A):
+                self.A = A
+                self.shape = A.shape
+
+            def matvec(self, x):
+                return self.A @ x
+
+        op = MatvecOnly(small_spd)
+        X = np.column_stack([random_float_array(rng, small_spd.shape[0])
+                             for _ in range(3)])
+        Y = operator_matmat(op, X)
+        for j in range(3):
+            np.testing.assert_array_equal(Y[:, j], op.matvec(X[:, j]))
+        with pytest.raises(ValueError):
+            operator_matmat(op, X[:, 0])
+
+
 class TestPrebuiltBlocked:
     def test_refloat_operator_accepts_partition(self, rng, small_wathen):
         spec = ReFloatSpec(b=7, e=3, f=3, ev=3, fv=8)

@@ -5,7 +5,6 @@ import pytest
 import scipy.sparse as sp
 
 from repro.formats import ReFloatSpec
-from repro.formats.feinberg import FeinbergSpec
 from repro.operators import (
     CountingOperator,
     ExactOperator,

@@ -11,7 +11,6 @@ from repro.formats import DEFAULT_SPEC, ReFloatSpec
 from repro.hardware import (
     FEINBERG_CYCLES,
     MappingPlan,
-    crossbars_per_engine,
     cycles_for_spec,
 )
 from repro.operators import (

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.formats import refloat
 from repro.formats.refloat import (
     DEFAULT_SPEC,
     ReFloatSpec,

@@ -4,7 +4,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.formats import ieee
 from repro.formats.refloat import (
     ReFloatSpec,
     covering_exponent_base,

@@ -6,8 +6,6 @@ import scipy.sparse as sp
 
 from repro.solvers import (
     ConvergenceCriterion,
-    MatrixOperator,
-    SolverResult,
     bicgstab,
     cg,
     gmres,

@@ -1,0 +1,116 @@
+"""Suite fan-out executors and the LRU asset-cache budget.
+
+The process-pool equivalence run re-executes the full (test-scale) suite in
+worker processes, so it carries the ``slow`` marker and is deselected from
+the tier-1 invocation (see ``pytest.ini``); CI runs it in a dedicated step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import (
+    asset_cache_stats,
+    clear_run_caches,
+    matrix_assets,
+    run_suite,
+)
+
+
+@pytest.fixture
+def fresh_caches():
+    clear_run_caches()
+    yield
+    clear_run_caches()
+
+
+class TestExecutorSelection:
+    def test_env_selects_executor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUITE_EXECUTOR", raising=False)
+        assert common._suite_executor() == "thread"
+        monkeypatch.setenv("REPRO_SUITE_EXECUTOR", "process")
+        assert common._suite_executor() == "process"
+        assert common._suite_executor("thread") == "thread"  # arg wins
+
+    def test_invalid_env_names_var_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE_EXECUTOR", "fibers")
+        with pytest.raises(ValueError,
+                           match="REPRO_SUITE_EXECUTOR='fibers'"):
+            common._suite_executor()
+        with pytest.raises(ValueError, match="'fibers'"):
+            common._suite_executor("fibers")
+
+    def test_invalid_workers_names_var_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE_WORKERS", "many")
+        with pytest.raises(ValueError,
+                           match="REPRO_SUITE_WORKERS='many'"):
+            common._suite_workers(4)
+
+    def test_invalid_cache_budget_names_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASSET_CACHE_MB", "lots")
+        with pytest.raises(ValueError, match="'lots'"):
+            common._asset_cache_budget()
+        monkeypatch.setenv("REPRO_ASSET_CACHE_MB", "-3")
+        with pytest.raises(ValueError, match="'-3'"):
+            common._asset_cache_budget()
+
+
+class TestAssetCacheBudget:
+    def test_unbounded_without_env(self, monkeypatch, fresh_caches):
+        monkeypatch.delenv("REPRO_ASSET_CACHE_MB", raising=False)
+        a1 = matrix_assets(353, "test")
+        matrix_assets(1313, "test")
+        assert matrix_assets(353, "test") is a1
+        stats = asset_cache_stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+
+    def test_evicts_least_recently_used(self, monkeypatch, fresh_caches):
+        # Pin every entry's estimated size to 100 bytes so the eviction
+        # arithmetic is deterministic: a 150-byte budget holds one entry.
+        monkeypatch.setattr(common, "_approx_nbytes", lambda *roots: 100)
+        monkeypatch.setenv("REPRO_ASSET_CACHE_MB", str(150 / (1 << 20)))
+        a1 = matrix_assets(353, "test")
+        matrix_assets(1313, "test")
+        assert asset_cache_stats() == {"entries": 1, "bytes": 100}
+        # 353 was evicted (LRU); fetching it again rebuilds fresh assets.
+        assert matrix_assets(353, "test") is not a1
+
+    def test_recent_use_refreshes_lru_position(self, monkeypatch, fresh_caches):
+        # A 250-byte budget holds two 100-byte entries but not three.
+        monkeypatch.setattr(common, "_approx_nbytes", lambda *roots: 100)
+        monkeypatch.setenv("REPRO_ASSET_CACHE_MB", str(250 / (1 << 20)))
+        a1 = matrix_assets(353, "test")
+        a2 = matrix_assets(1313, "test")
+        assert matrix_assets(353, "test") is a1     # touch: 1313 is now LRU
+        matrix_assets(2261, "test")                 # insert: evicts 1313
+        assert asset_cache_stats() == {"entries": 2, "bytes": 200}
+        assert matrix_assets(353, "test") is a1
+        assert matrix_assets(1313, "test") is not a2
+
+    def test_clear_resets_accounting(self, fresh_caches):
+        matrix_assets(353, "test")
+        assert asset_cache_stats()["bytes"] > 0
+        clear_run_caches()
+        stats = asset_cache_stats()
+        assert stats == {"entries": 0, "bytes": 0}
+
+
+@pytest.mark.slow
+class TestProcessPoolSuite:
+    def test_process_pool_matches_serial(self, monkeypatch, fresh_caches):
+        monkeypatch.setenv("REPRO_SUITE_EXECUTOR", "process")
+        parallel = run_suite("cg", "test", use_cache=False, max_workers=2)
+        monkeypatch.delenv("REPRO_SUITE_EXECUTOR")
+        clear_run_caches()
+        serial = run_suite("cg", "test", use_cache=False, max_workers=1)
+        assert list(parallel) == list(serial)
+        for sid in serial:
+            s, p = serial[sid], parallel[sid]
+            assert s.times_s == p.times_s
+            for platform in s.results:
+                assert (s.results[platform].iterations
+                        == p.results[platform].iterations)
+                assert (s.results[platform].residual_norm
+                        == p.results[platform].residual_norm)
+                np.testing.assert_array_equal(s.results[platform].x,
+                                              p.results[platform].x)
