@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Asset-store smoke harness: run the suite, report the store counters.
+
+CI runs this twice against one ``REPRO_ASSET_STORE`` tmpdir: the first
+(cold) run builds and materialises every asset, the second — a brand-new
+interpreter — must attach to the store with **zero** matrix builds::
+
+    export REPRO_ASSET_STORE=$(mktemp -d)
+    PYTHONPATH=src python benchmarks/store_smoke.py
+    PYTHONPATH=src python benchmarks/store_smoke.py --expect-zero-builds
+
+Exits nonzero when ``--expect-zero-builds`` is violated (a build happened,
+or nothing was actually served from the store), or when the environment is
+missing ``REPRO_ASSET_STORE`` entirely.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="test",
+                        help="suite scale (default: test)")
+    parser.add_argument("--solver", default="cg",
+                        help="solver to sweep (default: cg)")
+    parser.add_argument("--expect-zero-builds", action="store_true",
+                        help="fail unless every asset came from the store")
+    args = parser.parse_args()
+
+    if not os.environ.get("REPRO_ASSET_STORE"):
+        print("store_smoke: REPRO_ASSET_STORE must point at a directory",
+              file=sys.stderr)
+        return 2
+
+    from repro.experiments import store
+    from repro.experiments.common import run_suite
+
+    runs = run_suite(args.solver, args.scale, use_cache=False, max_workers=1)
+    counts = store.counters()
+    summary = {
+        "scale": args.scale,
+        "solver": args.solver,
+        "matrices": len(runs),
+        "counters": counts,
+    }
+    print(json.dumps(summary, indent=1, sort_keys=True))
+
+    if args.expect_zero_builds:
+        if counts["builds"] != 0:
+            print(f"store_smoke: expected zero builds against a warm store, "
+                  f"got {counts['builds']}", file=sys.stderr)
+            return 1
+        if counts["hits"] != len(runs):
+            print(f"store_smoke: expected {len(runs)} store hits, "
+                  f"got {counts['hits']}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

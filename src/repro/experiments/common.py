@@ -15,8 +15,8 @@ Platforms (the Fig. 8 legend):
 
 Hot-path architecture
 ---------------------
-Two layers of in-process caching plus a configurable fan-out keep full-suite
-regenerations fast:
+Asset resolution is a three-level hierarchy — in-process LRU, then the
+persistent on-disk store, then a full build — plus a configurable fan-out:
 
 * a *matrix asset* cache keyed ``(sid, scale)`` holds the built matrix, its
   right-hand side, one shared :class:`BlockedMatrix` partition and the
@@ -26,6 +26,13 @@ regenerations fast:
   ``REPRO_ASSET_CACHE_MB`` bounds the (estimated) resident bytes, evicting
   the least-recently-used entries first, so ``paper``-scale sweeps do not
   grow without bound (unset = unbounded, the test/default-scale behaviour);
+* when ``REPRO_ASSET_STORE`` names a directory, in-process misses attach to
+  the persistent store (:mod:`repro.experiments.store`): the CSR arrays,
+  RHS and partition metadata come back as read-only memory maps instead of
+  being regenerated, and fresh builds are materialised into the store for
+  the next cold process.  Only the operator quantisation (cheap,
+  vectorised, deterministic) re-runs on attach, so store hits are
+  bit-identical to builds;
 * a *run* cache keyed ``(scale, solver)`` memoises whole-suite sweeps;
 * :func:`run_suite` fans the 12 matrices out over an executor.
   ``REPRO_SUITE_EXECUTOR`` selects ``thread`` (default) or ``process``;
@@ -34,14 +41,20 @@ regenerations fast:
   serial execution — operators are effectively immutable and the
   vector-converter scratch buffers are thread-local.  The process pool
   sidesteps the GIL entirely for ``paper``-scale sweeps: task payloads are
-  picklable ``(sid, solver, scale)`` triples, each worker process builds
-  and caches its own assets (the module-level caches are per-process), and
-  the returned :class:`MatrixRun` carries only arrays/floats, so results
-  are again identical to serial execution.
+  picklable ``(sid, solver, scale)`` triples, each worker process resolves
+  assets through its own hierarchy — with a store configured the parent
+  pre-materialises every entry and workers mmap-attach instead of
+  rebuilding per worker — and the returned :class:`MatrixRun` carries only
+  arrays/floats, so results are again identical to serial execution.  An
+  interpreter-exit hook (registered ahead of ``concurrent.futures``' own
+  drain-the-queue handler) reaps live workers, so an exit without
+  :func:`clear_run_caches` cannot hang — or stall out a full abandoned
+  sweep — on live workers.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
 import threading
@@ -53,6 +66,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.experiments import store
 from repro.formats.feinberg import FeinbergSpec
 from repro.formats.refloat import ReFloatSpec
 from repro.hardware.accelerator import MappingPlan, SolverTimingModel
@@ -61,6 +75,7 @@ from repro.operators import ExactOperator, FeinbergOperator, ReFloatOperator
 from repro.solvers import ConvergenceCriterion, SolverResult, bicgstab, cg
 from repro.sparse.blocked import BlockedMatrix
 from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale, suite_ids
+from repro.util.validation import check_env_positive_int
 
 __all__ = [
     "PLATFORMS",
@@ -100,27 +115,100 @@ _EXECUTORS = ("thread", "process")
 #: per-worker asset caches survive across run_suite calls — the cg sweep
 #: warms the workers the bicgstab sweep then reuses.  Guarded by _CACHE_LOCK.
 _PROCESS_POOL: Optional[ProcessPoolExecutor] = None
-_PROCESS_POOL_WIDTH: int = 0
+#: (width, asset-env-config) the pool was created under.  Workers inherit
+#: their environment at fork time, so a pool outliving a change to any
+#: asset-handling env var would keep honouring the stale value (rebuilding
+#: assets the parent materialised, or ignoring a new cache budget) — the
+#: pool is recreated whenever any part of the token changes.
+_PROCESS_POOL_TOKEN: Optional[tuple] = None
+#: PID that created the pool.  Forked workers inherit this module's state —
+#: including the executor object and sibling Process handles — so every
+#: shutdown path must refuse to touch a pool it does not own: a worker
+#: "shutting down" the inherited copy would join threads that never ran in
+#: its process and terminate its own siblings.
+_PROCESS_POOL_OWNER: Optional[int] = None
+
+
+def _pool_token(workers: int) -> tuple:
+    return (workers,
+            os.environ.get("REPRO_ASSET_STORE") or "",
+            os.environ.get("REPRO_ASSET_STORE_VERIFY") or "",
+            os.environ.get("REPRO_ASSET_CACHE_MB") or "")
 
 
 def _process_pool(workers: int) -> ProcessPoolExecutor:
-    """The shared process pool, recreated only when the width changes."""
-    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+    """The shared pool, recreated when the width or store config changes."""
+    global _PROCESS_POOL, _PROCESS_POOL_TOKEN, _PROCESS_POOL_OWNER
+    token = _pool_token(workers)
     with _CACHE_LOCK:
-        if _PROCESS_POOL is None or _PROCESS_POOL_WIDTH != workers:
-            if _PROCESS_POOL is not None:
+        if _PROCESS_POOL is None or _PROCESS_POOL_TOKEN != token:
+            if _PROCESS_POOL is not None and _PROCESS_POOL_OWNER == os.getpid():
                 _PROCESS_POOL.shutdown(wait=False)
             _PROCESS_POOL = ProcessPoolExecutor(max_workers=workers)
-            _PROCESS_POOL_WIDTH = workers
+            _PROCESS_POOL_TOKEN = token
+            _PROCESS_POOL_OWNER = os.getpid()
         return _PROCESS_POOL
 
 
-def _shutdown_process_pool() -> None:
-    global _PROCESS_POOL, _PROCESS_POOL_WIDTH
+def _detach_process_pool() -> Optional[ProcessPoolExecutor]:
+    """Drop the module's pool reference; return it only to the owning process.
+
+    Non-owners (forked workers that inherited the reference) always get
+    ``None`` — they must never operate on the parent's executor state.
+    """
+    global _PROCESS_POOL, _PROCESS_POOL_TOKEN, _PROCESS_POOL_OWNER
     with _CACHE_LOCK:
-        pool, _PROCESS_POOL, _PROCESS_POOL_WIDTH = _PROCESS_POOL, None, 0
+        pool, owner = _PROCESS_POOL, _PROCESS_POOL_OWNER
+        _PROCESS_POOL, _PROCESS_POOL_TOKEN, _PROCESS_POOL_OWNER = \
+            None, None, None
+    if pool is None or owner != os.getpid():
+        return None
+    return pool
+
+
+def _shutdown_process_pool() -> None:
+    """Shut the shared pool down cooperatively (the ``clear_run_caches`` path).
+
+    ``cancel_futures`` drops work not yet handed to a worker; anything
+    already in the call queue still runs, so this is orderly and bounded.
+    """
+    pool = _detach_process_pool()
     if pool is not None:
-        pool.shutdown(wait=True)
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _exit_process_pool() -> None:
+    """Interpreter-exit hook: reap live workers instead of draining them.
+
+    At exit nobody can consume results, so queued work is abandoned by
+    definition: live workers are terminated first, then the cooperative
+    shutdown reaps the (now broken) pool.  This must run *before*
+    ``concurrent.futures``' own exit handler — which joins the pool only
+    after executing every queued task, and can hang forever on a stuck
+    worker — hence the registration below goes through
+    ``threading._register_atexit`` (those callbacks run LIFO ahead of the
+    futures handler) rather than plain :mod:`atexit`, which fires too late
+    to prevent the drain.  Verified against a queued-work exit in
+    ``tests/test_suite_executor.py``.
+    """
+    pool = _detach_process_pool()
+    if pool is None:
+        return
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        if proc.is_alive():
+            proc.terminate()
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+#: An interpreter exit without clear_run_caches() must not hang (or stall
+#: arbitrarily long) on live pool workers.  Registered once at import time —
+#: a no-op when no pool was ever created, including in the workers
+#: themselves.  The threading hook is a private CPython API (3.9+); plain
+#: atexit is the degraded fallback (it cannot pre-empt the futures drain).
+try:
+    threading._register_atexit(_exit_process_pool)
+except (AttributeError, RuntimeError):  # pragma: no cover - fallback
+    atexit.register(_exit_process_pool)
 
 
 def _asset_cache_budget() -> Optional[int]:
@@ -161,7 +249,7 @@ def _approx_nbytes(*roots) -> int:
             continue
         seen.add(id(obj))
         if isinstance(obj, np.ndarray):
-            total += obj.nbytes
+            total += _array_nbytes(obj)
         elif sp.issparse(obj):
             stack.extend(getattr(obj, name) for name in
                          ("data", "indices", "indptr", "row", "col")
@@ -175,6 +263,19 @@ def _approx_nbytes(*roots) -> int:
         elif hasattr(obj, "__dict__"):
             stack.extend(vars(obj).values())
     return total
+
+
+def _array_nbytes(arr: np.ndarray) -> int:
+    """Resident bytes an array pins: store-mmapped arrays count as zero.
+
+    Memory-mapped views are backed by the OS page cache — evicting an asset
+    that wraps them frees (approximately) nothing, and charging them would
+    make a warm-store sweep look as expensive as a cold one.
+    """
+    if isinstance(arr, np.memmap) or isinstance(getattr(arr, "base", None),
+                                                np.memmap):
+        return 0
+    return arr.nbytes
 
 
 @dataclass
@@ -208,13 +309,63 @@ class MatrixAssets:
         return op
 
 
+def _spec_token(spec: ReFloatSpec) -> str:
+    """Filename-safe identity of a ReFloat spec, for store extra-array keys."""
+    return (f"b{spec.b}e{spec.e}f{spec.f}ev{spec.ev}fv{spec.fv}"
+            f"-{spec.rounding}-{spec.underflow}-{spec.eb_policy}")
+
+
+def _store_extras(spec: ReFloatSpec, refloat_op: ReFloatOperator,
+                  ) -> Dict[str, np.ndarray]:
+    """Extra arrays saved with a store entry: the pre-quantised matrix data.
+
+    Keyed by the full spec identity, so a loader with a different default
+    spec simply misses the extra and re-quantises — never reuses stale data.
+    """
+    return {f"refloat_qdata_{_spec_token(spec)}": refloat_op.A.data}
+
+
+def _load_or_build_assets(sid: int, scale: str) -> MatrixAssets:
+    """Level 2/3 of the asset hierarchy: attach to the store, else build.
+
+    A store hit hands back memory-mapped CSR arrays, the stored RHS, the
+    reattached partition and (when the spec matches) the pre-quantised
+    ReFloat matrix data, so nothing is regenerated and the resulting assets
+    are bit-identical to a fresh build.  A miss builds everything and
+    materialises it into the store (no-op when ``REPRO_ASSET_STORE`` is
+    unset) for the next cold process.
+    """
+    spec = default_spec_for(sid)
+    qdata_key = f"refloat_qdata_{_spec_token(spec)}"
+    entry = store.load_entry(sid, scale, extras=(qdata_key,))
+    if entry is not None:
+        A, b, blocked = entry.A, entry.b, entry.blocked
+        refloat_op = ReFloatOperator(None, spec, blocked=blocked,
+                                     quantized=entry.extras.get(qdata_key))
+    else:
+        store.note_build(sid, scale)
+        A = PAPER_SUITE[sid].matrix(scale)
+        blocked = BlockedMatrix(A, b=7)
+        b = A @ np.ones(A.shape[0])
+        refloat_op = ReFloatOperator(None, spec, blocked=blocked)
+        store.save_entry(sid, scale, A, b, blocked,
+                         extras=_store_extras(spec, refloat_op))
+    return MatrixAssets(
+        sid=sid, scale=scale, A=A, b=b, blocked=blocked, spec=spec,
+        exact_op=ExactOperator(A), refloat_op=refloat_op,
+    )
+
+
 def matrix_assets(sid: int, scale: str) -> MatrixAssets:
     """Build (or fetch) the shared per-matrix assets for ``(sid, scale)``.
 
-    Cache hits refresh the entry's LRU position; inserts charge the entry's
-    estimated bytes against the ``REPRO_ASSET_CACHE_MB`` budget and evict
-    least-recently-used entries until the budget holds again (the newest
-    entry itself is never evicted — a single oversized matrix still runs).
+    Resolution is hierarchical: the in-process LRU cache, then the on-disk
+    ``REPRO_ASSET_STORE`` (memory-mapped attach), then a full build that
+    also populates the store.  Cache hits refresh the entry's LRU position;
+    inserts charge the entry's estimated bytes against the
+    ``REPRO_ASSET_CACHE_MB`` budget and evict least-recently-used entries
+    until the budget holds again (the newest entry itself is never evicted —
+    a single oversized matrix still runs).
     """
     global _ASSET_BYTES
     key = (sid, scale)
@@ -223,16 +374,7 @@ def matrix_assets(sid: int, scale: str) -> MatrixAssets:
         if cached is not None:
             _ASSETS.move_to_end(key)
             return cached
-    info = PAPER_SUITE[sid]
-    A = info.matrix(scale)
-    blocked = BlockedMatrix(A, b=7)
-    spec = default_spec_for(sid)
-    assets = MatrixAssets(
-        sid=sid, scale=scale, A=A, b=A @ np.ones(A.shape[0]),
-        blocked=blocked, spec=spec,
-        exact_op=ExactOperator(A),
-        refloat_op=ReFloatOperator(A, spec, blocked=blocked),
-    )
+    assets = _load_or_build_assets(sid, scale)
     budget = _asset_cache_budget()
     nbytes = _approx_nbytes(assets)
     with _CACHE_LOCK:
@@ -263,7 +405,9 @@ def clear_run_caches() -> None:
     accounting, which must restart from zero — plus the vector-converter
     plan cache, which pins O(n) index/scratch state per ``(n, spec)`` pair
     the operators have touched.  The persistent process pool (whose workers
-    hold their own per-process caches) is shut down too.
+    hold their own per-process caches) is shut down too.  The on-disk
+    ``REPRO_ASSET_STORE`` is *not* touched — persistence across processes
+    is its purpose; delete entry directories to evict it.
     """
     from repro.formats.refloat import vector_converter_plan
 
@@ -368,15 +512,14 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
 
 
 def _suite_workers(n_tasks: int) -> int:
+    """Worker count from ``REPRO_SUITE_WORKERS`` (>= 1) or the CPU count.
+
+    Zero and negative values raise the same named-env-var ``ValueError`` as
+    non-integers — silently clamping ``0`` to serial hid misconfigurations.
+    """
     env = os.environ.get("REPRO_SUITE_WORKERS")
     if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            raise ValueError(
-                f"REPRO_SUITE_WORKERS must be an integer, "
-                f"got REPRO_SUITE_WORKERS={env!r}"
-            ) from None
+        return check_env_positive_int("REPRO_SUITE_WORKERS", env)
     return max(1, min(n_tasks, os.cpu_count() or 1))
 
 
@@ -399,10 +542,56 @@ def _suite_task(sid: int, solver: str, scale: str) -> MatrixRun:
 
     Executes in a worker process, where the module-level asset cache is
     per-process state: the first task touching a ``(sid, scale)`` pair
-    builds and caches the assets, later tasks in the same worker reuse them.
-    The returned :class:`MatrixRun` carries only plain arrays and floats.
+    resolves the assets through its own hierarchy — a memory-mapped store
+    attach when ``REPRO_ASSET_STORE`` is configured (the parent
+    pre-materialised every entry), a local build otherwise — and later
+    tasks in the same worker reuse them.  The returned :class:`MatrixRun`
+    carries only plain arrays and floats.
     """
     return run_matrix(sid, solver, scale)
+
+
+def _ensure_store_task(sid: int, scale: str) -> None:
+    """Picklable pre-warm payload: build one asset in a worker and publish it.
+
+    Runs in a worker process: ``matrix_assets`` misses the (empty) store,
+    builds, publishes the entry atomically *and* warms that worker's own
+    in-process cache — so the cold pre-materialisation is as parallel as
+    the sweep itself, and the parent never pins assets it will not solve.
+    """
+    matrix_assets(sid, scale)
+
+
+def _ensure_store_entries(ids: List[int], scale: str,
+                          pool: ProcessPoolExecutor) -> list:
+    """Materialise every ``(sid, scale)`` store entry for a process fan-out.
+
+    With a store configured, shipping bare ``(sid, solver, scale)`` keys is
+    only cheap if the workers find the assets on disk — otherwise each
+    worker regenerates them from scratch.  Entries already published are
+    untouched; assets already in the parent's in-process cache are flushed
+    to disk without a rebuild; anything else is built once, fanned out over
+    the pool's own workers.  The returned futures are *not* awaited here —
+    the solve tasks queue right behind them, so workers with nothing to
+    pre-build start solving immediately.  All races are benign: the atomic
+    publish keeps exactly one winner, and a solve task that beats its
+    entry's pre-build simply builds in-worker as before.
+    """
+    if store.store_root() is None:
+        return []
+    missing = []
+    for sid in ids:
+        if store.has_entry(sid, scale):
+            continue
+        with _CACHE_LOCK:
+            assets = _ASSETS.get((sid, scale))
+        if assets is not None:
+            store.save_entry(sid, scale, assets.A, assets.b, assets.blocked,
+                             extras=_store_extras(assets.spec,
+                                                  assets.refloat_op))
+        else:
+            missing.append(sid)
+    return [pool.submit(_ensure_store_task, sid, scale) for sid in missing]
 
 
 def run_suite(solver: str, scale: Optional[str] = None,
@@ -433,9 +622,14 @@ def run_suite(solver: str, scale: Optional[str] = None,
         runs = {sid: run_matrix(sid, solver, scale) for sid in ids}
     elif executor == "process":
         pool = _process_pool(workers)
+        prewarm = _ensure_store_entries(ids, scale, pool)
         futures = {sid: pool.submit(_suite_task, sid, solver, scale)
                    for sid in ids}
         runs = {sid: futures[sid].result() for sid in ids}
+        for future in prewarm:
+            # A failed pre-build already surfaced through its solve task
+            # (which rebuilds in-worker); just reap the future.
+            future.exception()
     else:
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="suite") as pool:

@@ -29,6 +29,7 @@ from repro.formats.refloat import (
     vector_converter_plan,
 )
 from repro.sparse.blocked import BlockedMatrix
+from repro.sparse.mmio import csr_from_arrays
 
 __all__ = ["ReFloatOperator"]
 
@@ -46,6 +47,13 @@ class ReFloatOperator:
         A prebuilt block partition of ``A`` (must use ``b == spec.b``).
         Passing it avoids re-partitioning the same matrix — ``run_matrix``
         already holds one for its own accounting.
+    quantized : ndarray, optional
+        The pre-quantised nonzero values — exactly what
+        ``blocked.quantize(spec).data`` would produce, e.g. reloaded from
+        the persistent asset store.  Skips the quantisation pass; the
+        caller vouches that the data matches ``(blocked, spec)`` (the
+        store checksums it and keys it by spec).  Only valid together
+        with ``blocked``.
 
     Attributes
     ----------
@@ -58,9 +66,12 @@ class ReFloatOperator:
     """
 
     def __init__(self, A, spec: ReFloatSpec = DEFAULT_SPEC,
-                 blocked: Optional[BlockedMatrix] = None):
+                 blocked: Optional[BlockedMatrix] = None,
+                 quantized: Optional[np.ndarray] = None):
         self.spec = spec
         if blocked is None:
+            if quantized is not None:
+                raise ValueError("quantized= requires a blocked= partition")
             blocked = BlockedMatrix(A, b=spec.b)
         elif blocked.b != spec.b:
             raise ValueError(
@@ -68,7 +79,16 @@ class ReFloatOperator:
             )
         self.blocked = blocked
         self.exact = self.blocked.A
-        self.A = self.blocked.quantize(spec)
+        if quantized is not None:
+            if quantized.shape != self.exact.data.shape:
+                raise ValueError(
+                    f"quantized data has {quantized.shape[0]} values, "
+                    f"matrix has {self.exact.nnz} nonzeros")
+            self.A = csr_from_arrays(quantized, self.exact.indices,
+                                     self.exact.indptr, self.exact.shape,
+                                     canonical=True)
+        else:
+            self.A = self.blocked.quantize(spec)
         self.shape = self.A.shape
         self._plan = vector_converter_plan(self.shape[1], spec)
 

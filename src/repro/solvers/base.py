@@ -25,6 +25,7 @@ __all__ = [
     "operator_matmat",
     "check_system",
     "check_block_system",
+    "check_initial_guess",
     "quiet_fp_errors",
 ]
 
@@ -182,6 +183,30 @@ def check_block_system(op: LinearOperator, B) -> np.ndarray:
     if not np.all(np.isfinite(B)):
         raise ValueError("B contains non-finite values")
     return B
+
+
+def check_initial_guess(x0, shape, name: str = "x0",
+                        copy: bool = True) -> Optional[np.ndarray]:
+    """Validate an initial guess against the expected shape; ``None`` passes.
+
+    Returns a float64 array — a fresh copy by default, since solvers update
+    the iterate in place — or ``None`` when no guess was given.  Callers
+    that only *read* the guess (e.g. ``solve_many``, whose per-column
+    solvers make their own copies) pass ``copy=False`` to skip the block
+    duplication.  A wrong-length, wrongly-shaped or non-finite guess fails
+    here with a named error instead of crashing deep inside the first
+    matvec with an opaque broadcast message.
+    """
+    if x0 is None:
+        return None
+    arr = (np.array(x0, dtype=np.float64) if copy
+           else np.asarray(x0, dtype=np.float64))
+    expected = tuple(shape)
+    if arr.shape != expected:
+        raise ValueError(f"{name} must have shape {expected}, got {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
 
 
 def check_system(op: LinearOperator, b: np.ndarray) -> np.ndarray:

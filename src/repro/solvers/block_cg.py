@@ -32,6 +32,7 @@ from repro.solvers.base import (
     SolverResult,
     as_operator,
     check_block_system,
+    check_initial_guess,
     operator_matmat,
     quiet_fp_errors,
 )
@@ -131,9 +132,8 @@ def block_cg(
     B = check_block_system(op, B)
     crit = criterion or ConvergenceCriterion()
     n, k = B.shape
-    X = np.zeros((n, k)) if X0 is None else np.array(X0, dtype=np.float64)
-    if X.shape != (n, k):
-        raise ValueError(f"X0 must have shape {(n, k)}, got {X.shape}")
+    X0 = check_initial_guess(X0, (n, k), name="X0")
+    X = np.zeros((n, k)) if X0 is None else X0
 
     matmats = 0
     if X0 is None or not np.any(X):
@@ -272,10 +272,7 @@ def solve_many(
             raise KeyError(
                 f"solver must be one of {sorted(registry)}, got {solver!r}")
         solver = registry[solver]
-    if X0 is not None:
-        X0 = np.asarray(X0, dtype=np.float64)
-        if X0.shape != B.shape:
-            raise ValueError(f"X0 must have shape {B.shape}, got {X0.shape}")
+    X0 = check_initial_guess(X0, B.shape, name="X0", copy=False)
     results: List[SolverResult] = []
     for j in range(B.shape[1]):
         x0 = None if X0 is None else X0[:, j]

@@ -15,6 +15,7 @@ from repro.solvers.base import (
     ConvergenceCriterion,
     SolverResult,
     as_operator,
+    check_initial_guess,
     check_system,
     quiet_fp_errors,
 )
@@ -57,7 +58,8 @@ def cg(
     b = check_system(op, b)
     crit = criterion or ConvergenceCriterion()
     n = b.size
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x0 = check_initial_guess(x0, (n,))
+    x = np.zeros(n) if x0 is None else x0
 
     matvecs = 0
     if x0 is None or not np.any(x):

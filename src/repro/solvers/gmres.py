@@ -17,6 +17,7 @@ from repro.solvers.base import (
     ConvergenceCriterion,
     SolverResult,
     as_operator,
+    check_initial_guess,
     check_system,
     quiet_fp_errors,
 )
@@ -37,6 +38,13 @@ def gmres(
 
     Iteration counting: each *inner* step (one SpMV) counts as one iteration,
     so iteration counts are comparable with CG's across operators.
+
+    Convergence is never declared from the Givens-rotation residual estimate
+    alone: the estimate only ends an inner cycle, after which the true
+    residual ``||b - A x||`` is recomputed — if it drifted back above the
+    threshold (loss of orthogonality, or a quantised operator whose matvec is
+    not the exact matrix the estimate models), the solve restarts from the
+    true residual instead of returning an optimistic ``residual_norm``.
     """
     op = as_operator(A)
     b = check_system(op, b)
@@ -44,7 +52,8 @@ def gmres(
     if restart < 1:
         raise ValueError(f"restart must be >= 1, got {restart}")
     n = b.size
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x0 = check_initial_guess(x0, (n,))
+    x = np.zeros(n) if x0 is None else x0
 
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
@@ -62,9 +71,16 @@ def gmres(
     r_norm = float(np.linalg.norm(r))
     history = [r_norm]
 
-    while iterations < crit.max_iterations:
+    while True:
+        # Invariant: r_norm here is always a *true* residual norm — the
+        # initial one, or the recomputed ``||b - A x||`` after a cycle —
+        # so this is the only place convergence may be declared.
         if r_norm < threshold:
             return SolverResult(x=x, converged=True, iterations=iterations,
+                                residual_norm=r_norm, residual_history=history,
+                                matvecs=matvecs)
+        if iterations >= crit.max_iterations:
+            return SolverResult(x=x, converged=False, iterations=iterations,
                                 residual_norm=r_norm, residual_history=history,
                                 matvecs=matvecs)
         m = min(restart, crit.max_iterations - iterations)
@@ -75,13 +91,20 @@ def gmres(
         g = np.zeros(m + 1)
         Q[:, 0] = r / r_norm
         g[0] = r_norm
-        inner_done = 0
+        cycle_r_norm = r_norm  # true residual of x, which the inner loop
+        inner_done = 0         # does not touch until the cycle-end update
         for j in range(m):
             w = op.matvec(Q[:, j])
             matvecs += 1
             if not np.all(np.isfinite(w)):
+                # x is still the cycle-start iterate, so its true residual
+                # is the cycle-start one — not the mid-cycle estimate.  As
+                # in the other breakdown paths, history's last entry is
+                # made consistent with the returned residual_norm.
+                history[-1] = cycle_r_norm
                 return SolverResult(x=x, converged=False, iterations=iterations,
-                                    residual_norm=r_norm, residual_history=history,
+                                    residual_norm=cycle_r_norm,
+                                    residual_history=history,
                                     breakdown="non-finite Krylov vector",
                                     matvecs=matvecs)
             # Modified Gram-Schmidt.
@@ -113,11 +136,27 @@ def gmres(
                 callback(iterations, x, r_norm)
             if r_norm < threshold or iterations >= crit.max_iterations:
                 break
-        # Solve the small triangular system and update x.
+        # Solve the small triangular system and update x.  The inner loop
+        # always completes at least one step (m >= 1), so j >= 1 here.
         j = inner_done
-        if j > 0:
-            y = np.linalg.solve(np.triu(H[:j, :j]), g[:j]) if j > 0 else np.zeros(0)
-            x = x + Q[:, :j] @ y
+        R = np.triu(H[:j, :j])
+        if np.any(np.diagonal(R) == 0.0):
+            # Exactly-singular least-squares system (lucky breakdown with
+            # a stagnant estimate): the iterate cannot be updated.  The
+            # reported norm is still the *true* residual of the current
+            # iterate, never the (possibly zero) Givens estimate.
+            r_norm = float(np.linalg.norm(b - op.matvec(x)))
+            matvecs += 1
+            history[-1] = r_norm
+            return SolverResult(x=x, converged=False, iterations=iterations,
+                                residual_norm=r_norm,
+                                residual_history=history,
+                                breakdown="singular Hessenberg system",
+                                matvecs=matvecs)
+        y = np.linalg.solve(R, g[:j])
+        x = x + Q[:, :j] @ y
+        # True residual: the Givens estimate above is only a cycle-ending
+        # heuristic; convergence is re-judged from this at the loop top.
         r = b - op.matvec(x)
         matvecs += 1
         r_norm = float(np.linalg.norm(r))
@@ -126,7 +165,3 @@ def gmres(
             return SolverResult(x=x, converged=False, iterations=iterations,
                                 residual_norm=r_norm, residual_history=history,
                                 breakdown="divergence", matvecs=matvecs)
-
-    return SolverResult(x=x, converged=r_norm < threshold, iterations=iterations,
-                        residual_norm=r_norm, residual_history=history,
-                        matvecs=matvecs)

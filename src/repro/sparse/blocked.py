@@ -83,6 +83,64 @@ class BlockedMatrix:
         self._nnz_key = key  # per-nonzero block key, in CSR order
 
     # ------------------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """The partition's derived arrays, for serialisation.
+
+        Together with the canonical CSR matrix (``self.A``) and ``b`` these
+        reconstruct the partition via :meth:`from_arrays` without re-running
+        the block-key argsort — the point of the on-disk asset store.  The
+        ``cached_property`` statistics (exponent bases etc.) are *not*
+        included; they recompute deterministically from ``A.data`` on demand.
+        """
+        return {
+            "order": self.order,
+            "group_starts": self.group_starts,
+            "block_keys": self.block_keys,
+            "block_nnz": self.block_nnz,
+            "nnz_key": self._nnz_key,
+        }
+
+    @classmethod
+    def from_arrays(cls, A: sp.csr_matrix, b: int, order: np.ndarray,
+                    group_starts: np.ndarray, block_keys: np.ndarray,
+                    block_nnz: np.ndarray, nnz_key: np.ndarray,
+                    ) -> "BlockedMatrix":
+        """Reattach a partition from :meth:`to_arrays` output without rebuilding.
+
+        ``A`` must be the canonical CSR the partition was computed from
+        (sorted, duplicate-free — ``BlockedMatrix.A`` as serialised); it is
+        used as-is, so read-only memory-mapped arrays work and nothing is
+        copied or re-sorted.  Only cheap structural consistency is checked
+        here — content integrity is the caller's job (the asset store
+        checksums every array).
+        """
+        b = check_nonnegative_int(b, "b")
+        nnz = int(A.nnz)
+        if order.shape != (nnz,) or nnz_key.shape != (nnz,):
+            raise ValueError(
+                f"order/nnz_key must have {nnz} entries, got "
+                f"{order.shape}/{nnz_key.shape}")
+        n_blocks = block_keys.shape[0]
+        if group_starts.shape != (n_blocks,) or block_nnz.shape != (n_blocks,):
+            raise ValueError(
+                f"group_starts/block_nnz must match block_keys "
+                f"({n_blocks} blocks), got {group_starts.shape}/{block_nnz.shape}")
+        if int(block_nnz.sum()) != nnz:
+            raise ValueError(
+                f"block_nnz sums to {int(block_nnz.sum())}, matrix has {nnz}")
+        self = object.__new__(cls)
+        self.A = A
+        self.b = b
+        n_rows, n_cols = A.shape
+        self.block_grid = (-(-n_rows // (1 << b)), -(-n_cols // (1 << b)))
+        self.order = order
+        self.group_starts = group_starts
+        self.block_keys = block_keys
+        self.block_nnz = block_nnz
+        self._nnz_key = nnz_key
+        return self
+
+    # ------------------------------------------------------------------
     @property
     def shape(self) -> Tuple[int, int]:
         return self.A.shape

@@ -50,3 +50,23 @@ def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
     if not (lo <= value <= hi):
         raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
     return value
+
+
+def check_env_positive_int(name: str, raw: str) -> int:
+    """Parse an environment-variable value as a positive (>= 1) integer.
+
+    Non-integers, zero and negative values all raise the same ``ValueError``
+    naming the variable and the offending value (``NAME='raw'``), so every
+    misconfiguration of a worker-count-style knob fails identically and the
+    message says exactly what to fix.
+    """
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be a positive integer, got {name}={raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{name} must be a positive integer, got {name}={raw!r}")
+    return value

@@ -128,6 +128,15 @@ class TestBlockCG:
         assert res.converged and res.iterations == 0
         assert np.all(res.X == 0.0)
 
+    def test_invalid_x0_fails_fast(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 3, rng)
+        with pytest.raises(ValueError, match="X0 must have shape"):
+            block_cg(small_spd, B, X0=np.zeros((B.shape[0], 2)))
+        bad = np.zeros_like(B)
+        bad[0, 1] = np.inf
+        with pytest.raises(ValueError, match="X0 contains non-finite"):
+            block_cg(small_spd, B, X0=bad)
+
     def test_duplicate_columns_break_down(self, rng, small_spd):
         b = small_spd @ (random_float_array(rng, small_spd.shape[0]) + 3.0)
         B = np.column_stack([b, b])      # rank-deficient block
@@ -208,3 +217,7 @@ class TestSolveMany:
             solve_many(small_spd, B, solver="sor")
         with pytest.raises(ValueError):
             solve_many(small_spd, B, X0=np.ones(3))
+        bad = np.zeros_like(B)
+        bad[-1, 0] = np.nan
+        with pytest.raises(ValueError, match="X0 contains non-finite"):
+            solve_many(small_spd, B, X0=bad)

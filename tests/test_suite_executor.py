@@ -46,6 +46,85 @@ class TestExecutorSelection:
                            match="REPRO_SUITE_WORKERS='many'"):
             common._suite_workers(4)
 
+    @pytest.mark.parametrize("bad", ["0", "-1", "-8"])
+    def test_nonpositive_workers_raise_same_named_error(self, monkeypatch,
+                                                        bad):
+        # 0 and negatives used to be clamped to serial silently; they must
+        # fail exactly like non-integers, naming the variable and value.
+        monkeypatch.setenv("REPRO_SUITE_WORKERS", bad)
+        with pytest.raises(ValueError,
+                           match=f"REPRO_SUITE_WORKERS='{bad}'"):
+            common._suite_workers(4)
+
+    def test_valid_workers_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE_WORKERS", "3")
+        assert common._suite_workers(12) == 3
+        monkeypatch.setenv("REPRO_SUITE_WORKERS", "1")
+        assert common._suite_workers(12) == 1
+
+
+class TestProcessPoolLifecycle:
+    def test_exit_hook_registered_ahead_of_futures_drain(self):
+        # The hook must be in threading's exit-callback list (those run
+        # LIFO, before concurrent.futures' own handler, which would first
+        # drain every queued task — and can hang on a stuck worker).
+        import threading
+
+        registered = [getattr(cb, "func", cb)
+                      for cb in threading._threading_atexits]
+        assert common._exit_process_pool in registered
+
+    def test_shutdown_is_idempotent(self):
+        common._shutdown_process_pool()
+        common._shutdown_process_pool()  # no pool: must be a no-op
+        common._exit_process_pool()      # likewise
+        assert common._PROCESS_POOL is None
+
+    def test_pool_recreated_when_store_config_changes(self, monkeypatch,
+                                                      tmp_path):
+        # Forked workers freeze their environment: a pool outliving a
+        # REPRO_ASSET_STORE change would keep rebuilding assets the parent
+        # already materialised, so the pool identity includes the store
+        # config.
+        common._shutdown_process_pool()
+        monkeypatch.delenv("REPRO_ASSET_STORE", raising=False)
+        p1 = common._process_pool(1)
+        assert common._process_pool(1) is p1
+        monkeypatch.setenv("REPRO_ASSET_STORE", str(tmp_path / "s"))
+        p2 = common._process_pool(1)
+        assert p2 is not p1
+        assert common._process_pool(1) is p2  # stable under same config
+        common._shutdown_process_pool()
+
+    @pytest.mark.slow
+    def test_interpreter_exit_with_queued_work_does_not_drain(self):
+        """Exiting with tasks queued must reap workers, not run the queue.
+
+        Without the exit hook, concurrent.futures' handler executes all
+        four queued 2-second sleeps before the interpreter can exit (>= 8s,
+        or forever on a stuck worker); with it, exit is near-immediate.
+        """
+        import subprocess
+        import sys
+        import time
+
+        script = (
+            "import time\n"
+            "from repro.experiments import common\n"
+            "pool = common._process_pool(1)\n"
+            "for _ in range(4):\n"
+            "    pool.submit(time.sleep, 2.0)\n"
+        )
+        t0 = time.perf_counter()
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, timeout=30)
+        elapsed = time.perf_counter() - t0
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stderr.strip() == ""
+        assert elapsed < 6.0, (
+            f"interpreter exit took {elapsed:.1f}s — the queued work was "
+            f"drained instead of abandoned")
+
     def test_invalid_cache_budget_names_value(self, monkeypatch):
         monkeypatch.setenv("REPRO_ASSET_CACHE_MB", "lots")
         with pytest.raises(ValueError, match="'lots'"):
