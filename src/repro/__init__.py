@@ -12,9 +12,22 @@ primary public API; see the subpackages for everything else:
 * :mod:`repro.operators`   — SpMV platforms (exact / ReFloat / Feinberg / noisy)
 * :mod:`repro.hardware`    — crossbar sim, processing engine, timing models
 * :mod:`repro.analysis`    — locality, memory accounting, trace utilities
+* :mod:`repro.api`         — platform/solver registries, typed RunConfig,
+                             declarative SuiteSpec/RunRequest job objects
 * :mod:`repro.experiments` — one runner per paper table/figure
 """
 
+from repro.api import (
+    PLATFORM_REGISTRY,
+    SOLVER_REGISTRY,
+    PlatformSpec,
+    RunConfig,
+    RunRequest,
+    SolverSpec,
+    SuiteSpec,
+    register_platform,
+    register_solver,
+)
 from repro.formats import DEFAULT_SPEC, ReFloatSpec
 from repro.operators import (
     ExactOperator,
@@ -27,7 +40,7 @@ from repro.solvers import ConvergenceCriterion, SolverResult, bicgstab, cg, gmre
 from repro.sparse import BlockedMatrix
 from repro.sparse.gallery import build_matrix, suite_ids
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_SPEC",
@@ -45,5 +58,14 @@ __all__ = [
     "BlockedMatrix",
     "build_matrix",
     "suite_ids",
+    "PLATFORM_REGISTRY",
+    "SOLVER_REGISTRY",
+    "PlatformSpec",
+    "RunConfig",
+    "RunRequest",
+    "SolverSpec",
+    "SuiteSpec",
+    "register_platform",
+    "register_solver",
     "__version__",
 ]

@@ -1,0 +1,72 @@
+"""``repro.api`` — registries, typed config, and declarative run specs.
+
+The programmatic surface of the evaluation harness:
+
+* :class:`RunConfig` — frozen runtime configuration;
+  :meth:`RunConfig.from_env` is the package's single reader of ``REPRO_*``
+  environment variables.
+* :data:`PLATFORM_REGISTRY` / :data:`SOLVER_REGISTRY` with the
+  :func:`register_platform` / :func:`register_solver` decorators — add a
+  platform or solver from user code and sweep it via
+  ``run_suite(platforms=[...])`` without touching
+  ``repro/experiments/common.py``.
+* :class:`SuiteSpec` / :class:`RunRequest` — JSON-serialisable job objects
+  (the process-pool payload, and the seam for a multi-host runner).
+
+Importing this package installs the builtin registrations (the four paper
+platforms plus the ``noisy``/``truncated`` scenarios; the cg/bicgstab and
+batched solvers).
+"""
+
+from repro.api.config import (
+    EXECUTORS,
+    SCALES,
+    RunConfig,
+    active,
+    set_active,
+    use,
+)
+from repro.api.registry import (
+    PLATFORM_REGISTRY,
+    SOLVER_REGISTRY,
+    PlatformContext,
+    PlatformSpec,
+    Registry,
+    SolverSpec,
+    register_platform,
+    register_solver,
+    resolve_platforms,
+)
+from repro.api.platforms import (  # noqa: F401 - installs registrations
+    DEFAULT_NOISE_SIGMA,
+    DEFAULT_PLATFORMS,
+    noisy_platform_spec,
+    truncated_platform_spec,
+)
+from repro.api.solvers import DEFAULT_SOLVERS  # noqa: F401 - installs registrations
+from repro.api.specs import RunRequest, SuiteSpec
+
+__all__ = [
+    "EXECUTORS",
+    "SCALES",
+    "RunConfig",
+    "active",
+    "set_active",
+    "use",
+    "PLATFORM_REGISTRY",
+    "SOLVER_REGISTRY",
+    "PlatformContext",
+    "PlatformSpec",
+    "Registry",
+    "SolverSpec",
+    "register_platform",
+    "register_solver",
+    "resolve_platforms",
+    "DEFAULT_NOISE_SIGMA",
+    "DEFAULT_PLATFORMS",
+    "DEFAULT_SOLVERS",
+    "noisy_platform_spec",
+    "truncated_platform_spec",
+    "RunRequest",
+    "SuiteSpec",
+]

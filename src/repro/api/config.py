@@ -1,0 +1,219 @@
+"""Typed runtime configuration — the *only* module that reads ``REPRO_*`` vars.
+
+Every runtime knob the package honours is a field of the frozen
+:class:`RunConfig` dataclass, and :meth:`RunConfig.from_env` is the single
+place the corresponding ``REPRO_*`` environment variables are parsed (CI
+greps for exactly that invariant).  Everything downstream —
+:mod:`repro.experiments.common`, :mod:`repro.experiments.store`, the suite
+scale resolution — consumes a :class:`RunConfig` object, never
+``os.environ``.
+
+Resolution order, strongest first:
+
+1. explicit function arguments (``run_suite(max_workers=4)``);
+2. an installed config (:func:`set_active`, or the :func:`use` context
+   manager — also what ``run_suite(config=...)`` does internally);
+3. the environment, re-read on every :func:`active` call so tests and
+   subprocesses that mutate ``os.environ`` keep working unchanged;
+4. the field defaults.
+
+| env var                   | field            | meaning                    |
+|---------------------------|------------------|----------------------------|
+| ``REPRO_FULL=1``          | ``scale``        | default scale ``"paper"``  |
+| ``REPRO_SUITE_WORKERS``   | ``workers``      | suite fan-out width        |
+| ``REPRO_SUITE_EXECUTOR``  | ``executor``     | ``thread`` / ``process``   |
+| ``REPRO_ASSET_CACHE_MB``  | ``asset_cache_mb`` | in-process LRU budget    |
+| ``REPRO_ASSET_STORE``     | ``store``        | on-disk asset store root   |
+| ``REPRO_ASSET_STORE_VERIFY=0`` | ``store_verify`` | skip store checksums  |
+| ``REPRO_SKIP_KAPPA=1``    | ``skip_kappa``   | Table V without kappa      |
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterator, Optional
+
+from repro.util.validation import check_env_positive_int, check_positive_int
+
+__all__ = [
+    "EXECUTORS",
+    "SCALES",
+    "RunConfig",
+    "active",
+    "set_active",
+    "use",
+]
+
+#: Matrix scales (mirrored by :mod:`repro.sparse.gallery.suite`, which
+#: imports this tuple — config is a leaf module and must not import it back).
+SCALES = ("test", "default", "paper")
+
+#: Suite fan-out executors.
+EXECUTORS = ("thread", "process")
+
+_JSON_TYPE = "RunConfig"
+_JSON_VERSION = 1
+
+
+def tag_payload(data: Dict[str, Any], type_name: str,
+                version: int) -> Dict[str, Any]:
+    """Stamp a serialised dataclass dict with its type/version envelope
+    (tuples become lists so the payload is pure JSON)."""
+    data = {key: list(value) if isinstance(value, tuple) else value
+            for key, value in data.items()}
+    data["type"] = type_name
+    data["version"] = version
+    return data
+
+
+def parse_payload(data: Dict[str, Any], type_name: str,
+                  version: int) -> Dict[str, Any]:
+    """Strip and check the type/version envelope of a tagged payload."""
+    data = dict(data)
+    if data.pop("type", type_name) != type_name:
+        raise ValueError(f"not a {type_name} payload")
+    if data.pop("version", version) != version:
+        raise ValueError(f"unsupported {type_name} payload version")
+    return data
+
+
+def _parse_cache_mb(env: str, name: str = "REPRO_ASSET_CACHE_MB") -> float:
+    try:
+        mb = float(env)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number (megabytes), got {env!r}") from None
+    if mb <= 0:
+        raise ValueError(f"{name} must be positive, got {env!r}")
+    return mb
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Runtime configuration for asset resolution and suite execution.
+
+    ``None`` fields mean "use the built-in default" (scale ``"default"``,
+    one worker per task up to the CPU count, unbounded asset cache, no
+    persistent store).  Instances are frozen, hashable and JSON-round-trip
+    losslessly via :meth:`to_json`/:meth:`from_json`.
+    """
+
+    scale: Optional[str] = None
+    workers: Optional[int] = None
+    executor: str = "thread"
+    asset_cache_mb: Optional[float] = None
+    store: Optional[str] = None
+    store_verify: bool = True
+    skip_kappa: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale is not None and self.scale not in SCALES:
+            raise ValueError(
+                f"scale must be one of {SCALES}, got {self.scale!r}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}")
+        if self.workers is not None:
+            object.__setattr__(self, "workers",
+                               check_positive_int(self.workers, "workers"))
+        if self.asset_cache_mb is not None:
+            mb = float(self.asset_cache_mb)
+            if not mb > 0:
+                raise ValueError(
+                    f"asset_cache_mb must be positive, got {mb!r}")
+            object.__setattr__(self, "asset_cache_mb", mb)
+        if self.store is not None:
+            object.__setattr__(self, "store", os.fspath(self.store))
+
+    # -- environment ----------------------------------------------------
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "RunConfig":
+        """Build a config from ``REPRO_*`` variables; ``overrides`` win.
+
+        This classmethod is the package's single point of environment
+        access.  Invalid values raise ``ValueError`` naming the variable
+        and the offending value, exactly as the pre-config code did.
+        """
+        env = os.environ
+        fields: Dict[str, Any] = {}
+        fields["scale"] = "paper" if env.get("REPRO_FULL") == "1" else None
+        raw = env.get("REPRO_SUITE_WORKERS")
+        fields["workers"] = (check_env_positive_int("REPRO_SUITE_WORKERS", raw)
+                             if raw else None)
+        raw = env.get("REPRO_SUITE_EXECUTOR")
+        if raw and raw not in EXECUTORS:
+            raise ValueError(
+                f"REPRO_SUITE_EXECUTOR must be one of {EXECUTORS}, "
+                f"got REPRO_SUITE_EXECUTOR={raw!r}")
+        fields["executor"] = raw or "thread"
+        raw = env.get("REPRO_ASSET_CACHE_MB")
+        fields["asset_cache_mb"] = _parse_cache_mb(raw) if raw else None
+        fields["store"] = env.get("REPRO_ASSET_STORE") or None
+        fields["store_verify"] = env.get("REPRO_ASSET_STORE_VERIFY", "1") != "0"
+        fields["skip_kappa"] = env.get("REPRO_SKIP_KAPPA") == "1"
+        fields.update(overrides)
+        return cls(**fields)
+
+    # -- derived values --------------------------------------------------
+
+    @property
+    def asset_cache_bytes(self) -> Optional[int]:
+        """The LRU byte budget, or ``None`` for an unbounded cache."""
+        if self.asset_cache_mb is None:
+            return None
+        return int(self.asset_cache_mb * (1 << 20))
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (validated like the original)."""
+        return replace(self, **changes)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return tag_payload(asdict(self), _JSON_TYPE, _JSON_VERSION)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunConfig":
+        return cls(**parse_payload(data, _JSON_TYPE, _JSON_VERSION))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        return cls.from_dict(json.loads(text))
+
+
+#: Explicitly-installed config (``None`` = derive from the environment on
+#: every read).  A plain module global on purpose: worker processes fork
+#: with it set, and worker *threads* of a fan-out must see the config the
+#: launching call installed.
+_ACTIVE: Optional[RunConfig] = None
+
+
+def active() -> RunConfig:
+    """The effective config: the installed one, else a fresh env read."""
+    return _ACTIVE if _ACTIVE is not None else RunConfig.from_env()
+
+
+def set_active(config: Optional[RunConfig]) -> None:
+    """Install ``config`` as the process-wide default (``None`` resets to
+    environment-derived behaviour)."""
+    global _ACTIVE
+    _ACTIVE = config
+
+
+@contextlib.contextmanager
+def use(config: Optional[RunConfig]) -> Iterator[RunConfig]:
+    """Temporarily install ``config`` (restores the previous one on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = config
+    try:
+        yield active()
+    finally:
+        _ACTIVE = previous

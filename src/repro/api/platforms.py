@@ -1,0 +1,162 @@
+"""Builtin platform registrations (the Fig. 8 grid plus extra scenarios).
+
+The four paper platforms register here exactly as ``run_matrix`` used to
+hardcode them — same operator sources, same timing models, bit-identical
+results — plus two scenario platforms the registry gives us for free:
+
+* ``noisy``      — :class:`NoisyReFloatOperator` with the default RTN
+                   deviation (Section VI-D, error correction off), charged
+                   with ReFloat timing;
+* ``truncated``  — :class:`TruncatedOperator` (the Table I naive-truncation
+                   baseline at fp64-with-half-the-fraction), charged with
+                   the [32] accelerator timing.
+
+:func:`noisy_platform_spec` / :func:`truncated_platform_spec` build further
+variants (a sigma sweep, other bit budgets) for user registration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.registry import (
+    PLATFORM_REGISTRY,
+    PlatformContext,
+    PlatformSpec,
+    register_platform,
+)
+from repro.hardware.accelerator import MappingPlan, SolverTimingModel
+from repro.hardware.gpu import GPUSolverModel
+from repro.operators import NoisyReFloatOperator, TruncatedOperator
+
+__all__ = [
+    "DEFAULT_PLATFORMS",
+    "DEFAULT_NOISE_SIGMA",
+    "gpu_timing",
+    "feinberg_timing",
+    "refloat_timing",
+    "noisy_platform_spec",
+    "truncated_platform_spec",
+]
+
+#: The paper's evaluation grid (Fig. 8 legend) — the default sweep set.
+#: The registry holds more platforms; these are the ones every experiment
+#: runs unless a caller asks for a subset or a custom sweep.
+DEFAULT_PLATFORMS = ("gpu", "feinberg", "feinberg_fc", "refloat")
+
+#: RTN deviation of the builtin ``noisy`` platform (1%, the middle of the
+#: paper's Fig. 10 sweep — well inside the converging regime).
+DEFAULT_NOISE_SIGMA = 0.01
+
+
+# ----------------------------------------------------------------------
+# Timing models (identical to the pre-registry run_matrix accounting)
+
+
+def gpu_timing(ctx: PlatformContext, iterations: int) -> float:
+    """V100 roofline solve time for the context's solver shape."""
+    model = GPUSolverModel(
+        spmvs_per_iteration=ctx.spmvs_per_iteration,
+        vector_kernels_per_iteration=ctx.gpu_vector_kernels_per_iteration)
+    return model.solve_time_s(iterations, ctx.n_rows, ctx.nnz)
+
+
+def feinberg_timing(ctx: PlatformContext, iterations: int) -> float:
+    """[32] accelerator steady-state solve time (no one-time mapping write,
+    matching the paper's speedup definition)."""
+    plan = MappingPlan.for_feinberg(ctx.n_blocks)
+    timing = SolverTimingModel(
+        plan, spmvs_per_iteration=ctx.spmvs_per_iteration,
+        vector_ops_per_iteration=ctx.vector_ops_per_iteration)
+    return timing.solve_time_s(iterations, ctx.n_rows, include_setup=False)
+
+
+def refloat_timing(ctx: PlatformContext, iterations: int) -> float:
+    """ReFloat accelerator steady-state solve time for the matrix's spec."""
+    plan = MappingPlan.for_refloat(ctx.n_blocks, ctx.spec)
+    timing = SolverTimingModel(
+        plan, spmvs_per_iteration=ctx.spmvs_per_iteration,
+        vector_ops_per_iteration=ctx.vector_ops_per_iteration)
+    return timing.solve_time_s(iterations, ctx.n_rows, include_setup=False)
+
+
+# ----------------------------------------------------------------------
+# The paper's four platforms
+
+
+@register_platform(
+    "gpu", timing=gpu_timing, always_timed=True,
+    description="exact FP64 solve timed with the V100 roofline model")
+def _gpu_operator(assets, ctx: PlatformContext):
+    return assets.exact_op
+
+
+@register_platform(
+    "feinberg", timing=feinberg_timing,
+    description="the [32] functional model (vector window flaw) with [32] "
+                "accelerator timing")
+def _feinberg_operator(assets, ctx: PlatformContext):
+    return assets.feinberg_op(ctx.feinberg_spec)
+
+
+#: Functionally-correct baseline: FP64 numerics (the GPU's results, reused
+#: verbatim) charged with the [32] accelerator timing.
+PLATFORM_REGISTRY.register(PlatformSpec(
+    name="feinberg_fc", operator=None, results_from="gpu",
+    timing=feinberg_timing, always_timed=True,
+    description="FP64 iterations charged with the [32] accelerator timing"))
+
+
+@register_platform(
+    "refloat", timing=refloat_timing,
+    description="ReFloat operator, its own iterations, ReFloat timing")
+def _refloat_operator(assets, ctx: PlatformContext):
+    return assets.refloat_op
+
+
+# ----------------------------------------------------------------------
+# Scenario platforms (free with the registry) and their spec factories
+
+
+def noisy_platform_spec(name: str, sigma: float,
+                        fresh_per_apply: bool = True,
+                        seed: Optional[int] = None,
+                        description: str = "") -> PlatformSpec:
+    """A ReFloat platform with multiplicative RTN noise of ``sigma``.
+
+    The RNG seed defaults to the matrix sid, so sweeps are deterministic
+    per matrix and a serialised run request reproduces bit-identically.
+    Register the result to sweep it::
+
+        PLATFORM_REGISTRY.register(noisy_platform_spec("noisy_5pct", 0.05))
+    """
+
+    def factory(assets, ctx: PlatformContext):
+        return NoisyReFloatOperator(
+            None, ctx.spec, sigma=sigma,
+            seed=ctx.sid if seed is None else seed,
+            fresh_per_apply=fresh_per_apply, blocked=assets.blocked)
+
+    return PlatformSpec(
+        name=name, operator=factory, timing=refloat_timing,
+        description=description or f"ReFloat with sigma={sigma} RTN noise")
+
+
+def truncated_platform_spec(name: str, exp_bits: int, frac_bits: int,
+                            description: str = "") -> PlatformSpec:
+    """A naive bit-truncation platform (Table I semantics, [32] timing)."""
+
+    def factory(assets, ctx: PlatformContext):
+        return TruncatedOperator(assets.A, exp_bits=exp_bits,
+                                 frac_bits=frac_bits)
+
+    return PlatformSpec(
+        name=name, operator=factory, timing=feinberg_timing,
+        description=description or f"IEEE truncated to e={exp_bits} "
+                                   f"f={frac_bits}, [32] timing")
+
+
+PLATFORM_REGISTRY.register(
+    noisy_platform_spec("noisy", DEFAULT_NOISE_SIGMA))
+PLATFORM_REGISTRY.register(
+    truncated_platform_spec("truncated", exp_bits=11, frac_bits=26))

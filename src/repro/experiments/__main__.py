@@ -1,23 +1,239 @@
-"""CLI entry point: ``python -m repro.experiments <name> [--scale SCALE]``."""
+"""CLI entry point for the evaluation harness.
+
+Legacy experiment regeneration (one table/figure of the paper)::
+
+    python -m repro.experiments fig8 [--scale SCALE]
+    python -m repro.experiments all
+
+Declarative runs (no environment variables required — every knob is a
+flag mapping onto :class:`repro.api.RunConfig` / :class:`repro.api.SuiteSpec`)::
+
+    python -m repro.experiments suite --solver cg --platforms gpu,refloat \
+        --scale test --executor process --workers 4 --json out.json
+    python -m repro.experiments solve --sid 353 --solver bicgstab \
+        --platforms gpu,refloat --scale test --json out.json
+
+Asset-store maintenance::
+
+    python -m repro.experiments store --stats
+    python -m repro.experiments store --gc --max-mb 512
+"""
+
+from __future__ import annotations
 
 import argparse
+import json
+import sys
+from typing import List, Optional
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.api import RunConfig, SuiteSpec
+from repro.api.specs import RunRequest
+
+_API_COMMANDS = ("suite", "solve", "store")
 
 
-def main() -> None:
+def _split_csv(text: Optional[str]) -> Optional[list]:
+    if text is None:
+        return None
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return items
+
+
+def _platforms_arg(text: str) -> list:
+    return _split_csv(text)
+
+
+def _sids_arg(text: str) -> list:
+    try:
+        return [int(s) for s in _split_csv(text)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sids must be comma-separated integers, got {text!r}") from None
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--solver", default="cg",
+                        help="registered solver name (default: cg)")
+    parser.add_argument("--platforms", type=_platforms_arg, default=None,
+                        metavar="P1,P2,...",
+                        help="registered platform subset (default: the "
+                             "paper's four-platform grid)")
+    parser.add_argument("--scale", choices=["test", "default", "paper"],
+                        default=None, help="matrix scale (default: 'default')")
+    parser.add_argument("--json", dest="json_out", metavar="OUT",
+                        default=None,
+                        help="write results (and the spec that produced "
+                             "them) as JSON to OUT, '-' for stdout")
+
+
+def _emit_json(payload: dict, target: Optional[str]) -> None:
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    if target == "-":
+        print(text)
+    elif target:
+        with open(target, "w") as fh:
+            fh.write(text + "\n")
+
+
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    """Flags layered over the environment-derived config (flags win)."""
+    overrides = {}
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
+    if getattr(args, "executor", None) is not None:
+        overrides["executor"] = args.executor
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    return RunConfig.from_env(**overrides)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_spec
+    from repro.experiments.fig8 import PLATFORM_LABELS, speedup_table
+    from repro.experiments.reporting import format_table
+
+    spec = SuiteSpec(solver=args.solver, scale=args.scale,
+                     platforms=args.platforms, sids=args.sids)
+    runs = run_spec(spec, config=_run_config(args))
+    table = speedup_table(runs)
+    rows = [[sid, name, runs[sid].iterations("gpu")]
+            + [s if s == s else "NC" for s in speedups]
+            for sid, name, *speedups in table["rows"]]
+    print(format_table(
+        ["id", "matrix", "gpu its"] + [PLATFORM_LABELS.get(p, p)
+                                       for p in table["platforms"]],
+        rows,
+        title=f"suite [{args.solver}] — speedup vs GPU (GPU = 1.0)"))
+    for p in table["platforms"]:
+        gmn = table["gmn"][p]
+        if gmn == gmn:  # no baseline swept -> NaN: nothing to report
+            print(f"GMN {PLATFORM_LABELS.get(p, p)}: {gmn:.4g}x")
+    _emit_json({"spec": spec.to_dict(),
+                "runs": {str(sid): run.to_dict()
+                         for sid, run in runs.items()}},
+               args.json_out)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_request
+    from repro.sparse.gallery.suite import resolve_scale
+
+    request = RunRequest(
+        sid=args.sid, solver=args.solver,
+        scale=resolve_scale(args.scale),
+        platforms=tuple(args.platforms) if args.platforms else None)
+    from repro.api import use as use_config
+    with use_config(_run_config(args)):
+        run = run_request(request)
+    print(f"{run.name} (sid {run.sid}, n={run.n_rows}, nnz={run.nnz}, "
+          f"{run.n_blocks} blocks) — {run.solver}")
+    for platform in run.platforms:
+        res = run.results[platform]
+        state = f"{res.iterations:>6d} its" if res.converged else "    NC    "
+        speedup = run.speedup(platform)
+        extra = f"  speedup {speedup:.4g}x" if speedup == speedup else ""
+        print(f"  {platform:<12} {state}{extra}")
+    _emit_json({"request": request.to_dict(), "run": run.to_dict()},
+               args.json_out)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.api import use as use_config
+    from repro.experiments import store
+
+    overrides = {}
+    if args.store is not None:
+        overrides["store"] = args.store
+    with use_config(RunConfig.from_env(**overrides)):
+        if store.store_root() is None:
+            print("no asset store configured (set REPRO_ASSET_STORE or "
+                  "pass --store PATH)", file=sys.stderr)
+            return 2
+        if args.gc:
+            result = store.gc_store(int(args.max_mb * (1 << 20)))
+            print(f"evicted {len(result['evicted'])} entries "
+                  f"({result['before_nbytes'] - result['after_nbytes']} "
+                  f"bytes), kept {result['kept']} "
+                  f"({result['after_nbytes']} bytes)")
+            for key in result["evicted"]:
+                print(f"  - {key}")
+        else:
+            stats = store.store_stats()
+            print(f"{stats['root']}: {stats['entries']} entries, "
+                  f"{stats['nbytes']} bytes")
+            for entry in stats["per_entry"]:
+                marker = "" if entry["current"] else "  [stale version]"
+                print(f"  {entry['version']}/{entry['key']:<16} "
+                      f"{entry['nbytes']:>12d} B{marker}")
+    return 0
+
+
+def _api_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments {command}")
+    if command == "suite":
+        _add_run_flags(parser)
+        parser.add_argument("--sids", type=_sids_arg, default=None,
+                            metavar="ID1,ID2,...",
+                            help="suite-matrix subset (default: all 12)")
+        parser.add_argument("--workers", type=int, default=None,
+                            help="fan-out width (default: one per matrix "
+                                 "up to the CPU count)")
+        parser.add_argument("--executor", choices=["thread", "process"],
+                            default=None, help="fan-out executor")
+        parser.set_defaults(func=_cmd_suite)
+    elif command == "solve":
+        parser.add_argument("--sid", type=int, required=True,
+                            help="suite matrix id (Table V)")
+        _add_run_flags(parser)
+        parser.set_defaults(func=_cmd_solve)
+    else:  # store
+        parser.add_argument("--store", default=None, metavar="PATH",
+                            help="store root (default: REPRO_ASSET_STORE)")
+        group = parser.add_mutually_exclusive_group()
+        group.add_argument("--stats", action="store_true",
+                           help="print entry sizes and totals (default)")
+        group.add_argument("--gc", action="store_true",
+                           help="evict LRU entries down to --max-mb")
+        parser.add_argument("--max-mb", type=float, default=None,
+                            help="GC byte budget in megabytes")
+        parser.set_defaults(func=_cmd_store)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _API_COMMANDS:
+        parser = _api_parser(argv[0])
+        args = parser.parse_args(argv[1:])
+        if argv[0] == "store":
+            if args.gc and args.max_mb is None:
+                parser.error("--gc requires --max-mb N")
+            if args.max_mb is not None and args.max_mb < 0:
+                parser.error("--max-mb must be >= 0")
+        return args.func(args)
+
+    from repro.experiments import EXPERIMENTS, run_experiment
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate a table/figure of the ReFloat paper.")
+        description="Regenerate a table/figure of the ReFloat paper, or "
+                    "run declarative jobs (suite/solve) and store "
+                    "maintenance (store).")
     parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"],
-                        help="experiment to run")
+                        help="experiment to run (or: suite, solve, store)")
     parser.add_argument("--scale", choices=["test", "default", "paper"],
                         default=None,
                         help="matrix scale (default: 'default', or 'paper' "
                              "when REPRO_FULL=1)")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     run_experiment(args.name, scale=args.scale)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

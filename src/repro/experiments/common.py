@@ -4,7 +4,10 @@ Fig. 8 (speedups), Fig. 9 (traces), Table VI (iterations) and Table VII
 (configurations) are all views of the same set of runs, so the runs are done
 once per (scale, solver) and cached in-process.
 
-Platforms (the Fig. 8 legend):
+Platforms and solvers come from the :mod:`repro.api` registries —
+``run_matrix``/``run_suite`` iterate :data:`PLATFORM_REGISTRY` /
+:data:`SOLVER_REGISTRY` specs, so registering a platform from user code is
+enough to sweep it.  The default grid (the Fig. 8 legend):
 
 * ``gpu``          — exact FP64 solve, timed with the V100 roofline model;
 * ``feinberg_fc``  — functionally-correct baseline: FP64 iterations charged
@@ -12,6 +15,10 @@ Platforms (the Fig. 8 legend):
 * ``feinberg``     — the [32] functional model (vector window flaw); its own
                      iteration count (or NC) with [32] timing;
 * ``refloat``      — ReFloat operator, its own iterations, ReFloat timing.
+
+Runtime knobs resolve through :class:`repro.api.RunConfig` (argument >
+installed config > environment); the ``REPRO_*`` names below are the
+environment spellings of its fields.
 
 Hot-path architecture
 ---------------------
@@ -59,23 +66,30 @@ import math
 import os
 import threading
 from collections import OrderedDict
+from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api import config as api_config
+from repro.api.platforms import DEFAULT_PLATFORMS
+from repro.api.registry import (
+    PLATFORM_REGISTRY,
+    SOLVER_REGISTRY,
+    PlatformContext,
+    resolve_platforms,
+)
+from repro.api.specs import RunRequest, SuiteSpec
 from repro.experiments import store
 from repro.formats.feinberg import FeinbergSpec
 from repro.formats.refloat import ReFloatSpec
-from repro.hardware.accelerator import MappingPlan, SolverTimingModel
-from repro.hardware.gpu import GPUSolverModel
 from repro.operators import ExactOperator, FeinbergOperator, ReFloatOperator
-from repro.solvers import ConvergenceCriterion, SolverResult, bicgstab, cg
+from repro.solvers import ConvergenceCriterion, SolverResult
 from repro.sparse.blocked import BlockedMatrix
 from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale, suite_ids
-from repro.util.validation import check_env_positive_int
 
 __all__ = [
     "PLATFORMS",
@@ -85,17 +99,37 @@ __all__ = [
     "default_spec_for",
     "matrix_assets",
     "run_matrix",
+    "run_request",
+    "run_spec",
     "run_suite",
     "clear_run_caches",
     "geometric_mean",
 ]
 
-PLATFORMS = ("gpu", "feinberg", "feinberg_fc", "refloat")
-SOLVERS: Dict[str, Callable[..., SolverResult]] = {"cg": cg, "bicgstab": bicgstab}
+#: The default sweep grid (back-compat alias; the registry is the source of
+#: truth and holds more platforms than these four).
+PLATFORMS = DEFAULT_PLATFORMS
 
-#: SpMVs and n-length vector ops per iteration, per solver (Section VI-B:
-#: BiCGSTAB does two whole-matrix SpMVs per iteration).
-_SOLVER_SHAPE = {"cg": (1, 6), "bicgstab": (2, 12)}
+
+class _SolverCallables(Mapping):
+    """Live name → callable view of the solver registry.
+
+    Keeps the historical ``SOLVERS`` dict API (``SOLVERS["cg"]``,
+    ``sorted(SOLVERS)``) while the registry remains the single source of
+    truth — solvers registered after import show up here immediately.
+    """
+
+    def __getitem__(self, name: str) -> Callable[..., SolverResult]:
+        return SOLVER_REGISTRY.get(name).solve
+
+    def __iter__(self):
+        return iter(SOLVER_REGISTRY.names())
+
+    def __len__(self) -> int:
+        return len(SOLVER_REGISTRY)
+
+
+SOLVERS: Mapping = _SolverCallables()
 
 #: In-process cache of full-suite runs, keyed (scale, solver).
 _CACHE: Dict[tuple, Dict[int, "MatrixRun"]] = {}
@@ -109,7 +143,7 @@ _ASSET_BYTES: int = 0
 
 _CACHE_LOCK = threading.Lock()
 
-_EXECUTORS = ("thread", "process")
+_EXECUTORS = api_config.EXECUTORS
 
 #: Persistent process pool (created on first use, resized on demand) so the
 #: per-worker asset caches survive across run_suite calls — the cg sweep
@@ -130,10 +164,8 @@ _PROCESS_POOL_OWNER: Optional[int] = None
 
 
 def _pool_token(workers: int) -> tuple:
-    return (workers,
-            os.environ.get("REPRO_ASSET_STORE") or "",
-            os.environ.get("REPRO_ASSET_STORE_VERIFY") or "",
-            os.environ.get("REPRO_ASSET_CACHE_MB") or "")
+    cfg = api_config.active()
+    return (workers, cfg.store or "", cfg.store_verify, cfg.asset_cache_mb)
 
 
 def _process_pool(workers: int) -> ProcessPoolExecutor:
@@ -212,20 +244,12 @@ except (AttributeError, RuntimeError):  # pragma: no cover - fallback
 
 
 def _asset_cache_budget() -> Optional[int]:
-    """The asset-cache byte budget from ``REPRO_ASSET_CACHE_MB`` (None = off)."""
-    env = os.environ.get("REPRO_ASSET_CACHE_MB")
-    if not env:
-        return None
-    try:
-        mb = float(env)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_ASSET_CACHE_MB must be a number (megabytes), got {env!r}"
-        ) from None
-    if mb <= 0:
-        raise ValueError(
-            f"REPRO_ASSET_CACHE_MB must be positive, got {env!r}")
-    return int(mb * (1 << 20))
+    """The active config's asset-cache byte budget (None = unbounded).
+
+    Sourced from ``REPRO_ASSET_CACHE_MB`` unless a :class:`RunConfig` is
+    installed; invalid env values raise the config module's named error.
+    """
+    return api_config.active().asset_cache_bytes
 
 
 def _approx_nbytes(*roots) -> int:
@@ -429,7 +453,12 @@ def default_spec_for(sid: int) -> ReFloatSpec:
 
 @dataclass
 class MatrixRun:
-    """All platform results for one (matrix, solver) cell of Fig. 8."""
+    """All platform results for one (matrix, solver) cell of Fig. 8.
+
+    ``results``/``times_s`` hold exactly the platforms the run swept;
+    :meth:`iterations` and :meth:`speedup` degrade gracefully (``None`` /
+    ``NaN``) for platforms absent from a subset sweep.
+    """
 
     sid: int
     name: str
@@ -440,115 +469,148 @@ class MatrixRun:
     results: Dict[str, SolverResult] = field(default_factory=dict)
     times_s: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def platforms(self) -> Tuple[str, ...]:
+        """The platforms this run swept, in sweep order."""
+        return tuple(self.results)
+
     def iterations(self, platform: str) -> Optional[int]:
-        res = self.results[platform]
+        """Converged iteration count; ``None`` when the platform did not
+        converge *or* was not part of this run's sweep."""
+        res = self.results.get(platform)
+        if res is None:
+            return None
         return res.iterations if res.converged else None
 
     def speedup(self, platform: str) -> float:
-        """Fig. 8's metric ``p = t_GPU / t_x`` (NaN when x did not converge)."""
+        """Fig. 8's metric ``p = t_GPU / t_x`` (NaN when x did not converge
+        or either platform is absent from the sweep)."""
         t = self.times_s.get(platform)
-        if t is None or not math.isfinite(t):
+        t_gpu = self.times_s.get("gpu")
+        if t is None or t_gpu is None or not math.isfinite(t):
             return float("nan")
-        return self.times_s["gpu"] / t
+        return t_gpu / t
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (per-platform convergence/iterations/times;
+        non-finite floats become ``None``)."""
+
+        def safe(value: Optional[float]) -> Optional[float]:
+            if value is None or not math.isfinite(value):
+                return None
+            return float(value)
+
+        return {
+            "sid": self.sid, "name": self.name, "solver": self.solver,
+            "n_rows": self.n_rows, "nnz": self.nnz, "n_blocks": self.n_blocks,
+            "platforms": {
+                name: {
+                    "converged": bool(res.converged),
+                    "iterations": int(res.iterations),
+                    "time_s": safe(self.times_s.get(name)),
+                    "speedup_vs_gpu": safe(self.speedup(name)),
+                }
+                for name, res in self.results.items()
+            },
+        }
 
 
 def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
                criterion: Optional[ConvergenceCriterion] = None,
-               feinberg_spec: FeinbergSpec = FeinbergSpec()) -> MatrixRun:
-    """Solve one suite matrix on all four platforms and attach model times.
+               feinberg_spec: FeinbergSpec = FeinbergSpec(),
+               platforms: Optional[Iterable[str]] = None) -> MatrixRun:
+    """Solve one suite matrix on the selected platforms and attach times.
 
-    Matrix construction, partitioning and operator quantisation come from
-    the shared :func:`matrix_assets` cache — the solve loops are the only
-    per-call work.
+    ``platforms`` defaults to the paper's four-platform grid; any
+    registered platform name is accepted, and a platform that reuses
+    another's results (``feinberg_fc`` → ``gpu``) pulls its dependency into
+    the sweep automatically.  Matrix construction, partitioning and
+    operator quantisation come from the shared :func:`matrix_assets` cache
+    — the solve loops are the only per-call work.
     """
-    if solver not in SOLVERS:
-        raise KeyError(f"solver must be one of {sorted(SOLVERS)}")
+    sspec = SOLVER_REGISTRY.get(solver)
+    if sspec.multi_rhs:
+        raise ValueError(
+            f"solver {solver!r} is a multi-RHS (batched) solver; run_matrix "
+            f"sweeps single-RHS solvers — call it directly for RHS blocks")
     scale = resolve_scale(scale)
+    order = resolve_platforms(DEFAULT_PLATFORMS if platforms is None
+                              else platforms)
     crit = criterion or ConvergenceCriterion(tol=1e-8, max_iterations=20000)
-    solve = SOLVERS[solver]
-    spmvs, vops = _SOLVER_SHAPE[solver]
 
     info = PAPER_SUITE[sid]
     assets = matrix_assets(sid, scale)
-    A, b, blocked, spec = assets.A, assets.b, assets.blocked, assets.spec
-    n = A.shape[0]
+    n = assets.A.shape[0]
 
     run = MatrixRun(sid=sid, name=info.name, solver=solver, n_rows=n,
-                    nnz=int(A.nnz), n_blocks=blocked.n_blocks)
+                    nnz=int(assets.A.nnz), n_blocks=assets.blocked.n_blocks)
+    ctx = PlatformContext(
+        sid=sid, scale=scale, solver=solver, n_rows=n, nnz=run.nnz,
+        n_blocks=run.n_blocks, spec=assets.spec, feinberg_spec=feinberg_spec,
+        spmvs_per_iteration=sspec.spmvs_per_iteration,
+        vector_ops_per_iteration=sspec.vector_ops_per_iteration,
+        gpu_vector_kernels_per_iteration=sspec.gpu_vector_kernels)
 
-    run.results["gpu"] = solve(assets.exact_op, b, criterion=crit)
-    run.results["feinberg"] = solve(assets.feinberg_op(feinberg_spec), b,
-                                    criterion=crit)
-    run.results["feinberg_fc"] = run.results["gpu"]  # identical numerics
-    run.results["refloat"] = solve(assets.refloat_op, b, criterion=crit)
-
-    # --- timing models -------------------------------------------------
-    gpu_model = GPUSolverModel.cg() if solver == "cg" else GPUSolverModel.bicgstab()
-    it_gpu = run.results["gpu"].iterations
-    run.times_s["gpu"] = gpu_model.solve_time_s(it_gpu, n, run.nnz)
-
-    plan_f = MappingPlan.for_feinberg(run.n_blocks)
-    timing_f = SolverTimingModel(plan_f, spmvs_per_iteration=spmvs,
-                                 vector_ops_per_iteration=vops)
-    # Steady-state accounting (no one-time mapping write), matching the
-    # paper's speedup definition; matters only for few-iteration solves.
-    run.times_s["feinberg_fc"] = timing_f.solve_time_s(it_gpu, n,
-                                                       include_setup=False)
-    if run.results["feinberg"].converged:
-        run.times_s["feinberg"] = timing_f.solve_time_s(
-            run.results["feinberg"].iterations, n, include_setup=False)
-    else:
-        run.times_s["feinberg"] = float("inf")
-
-    plan_r = MappingPlan.for_refloat(run.n_blocks, spec)
-    timing_r = SolverTimingModel(plan_r, spmvs_per_iteration=spmvs,
-                                 vector_ops_per_iteration=vops)
-    if run.results["refloat"].converged:
-        run.times_s["refloat"] = timing_r.solve_time_s(
-            run.results["refloat"].iterations, n, include_setup=False)
-    else:
-        run.times_s["refloat"] = float("inf")
+    for name in order:
+        pspec = PLATFORM_REGISTRY.get(name)
+        if pspec.results_from is not None:
+            # Reused numerics (resolve_platforms ordered the dependency
+            # ahead of us): e.g. the functionally-correct baseline charges
+            # its own timing model at the GPU's iteration count.
+            res = run.results[pspec.results_from]
+        else:
+            op = pspec.operator(assets, ctx)
+            res = sspec.solve(op, assets.b, criterion=crit)
+        run.results[name] = res
+        if res.converged or pspec.always_timed:
+            run.times_s[name] = pspec.timing(ctx, res.iterations)
+        else:
+            run.times_s[name] = float("inf")
     return run
 
 
-def _suite_workers(n_tasks: int) -> int:
-    """Worker count from ``REPRO_SUITE_WORKERS`` (>= 1) or the CPU count.
+def run_request(request: RunRequest) -> MatrixRun:
+    """Execute one declarative :class:`RunRequest` (the distribution seam)."""
+    return run_matrix(request.sid, request.solver, request.scale,
+                      platforms=request.platforms)
 
-    Zero and negative values raise the same named-env-var ``ValueError`` as
-    non-integers — silently clamping ``0`` to serial hid misconfigurations.
+
+def _suite_workers(n_tasks: int) -> int:
+    """Worker count from the active config (>= 1) or the CPU count.
+
+    ``REPRO_SUITE_WORKERS`` misconfigurations (zero, negatives,
+    non-integers) raise the config module's named ``ValueError``.
     """
-    env = os.environ.get("REPRO_SUITE_WORKERS")
-    if env:
-        return check_env_positive_int("REPRO_SUITE_WORKERS", env)
+    workers = api_config.active().workers
+    if workers is not None:
+        return workers
     return max(1, min(n_tasks, os.cpu_count() or 1))
 
 
 def _suite_executor(executor: Optional[str] = None) -> str:
-    """Resolve the fan-out executor: argument, then env, then ``thread``."""
+    """Resolve the fan-out executor: argument, then config/env, then
+    ``thread``."""
     if executor is None:
-        executor = os.environ.get("REPRO_SUITE_EXECUTOR") or "thread"
-        if executor not in _EXECUTORS:
-            raise ValueError(
-                f"REPRO_SUITE_EXECUTOR must be one of {_EXECUTORS}, "
-                f"got REPRO_SUITE_EXECUTOR={executor!r}")
-    elif executor not in _EXECUTORS:
+        return api_config.active().executor
+    if executor not in _EXECUTORS:
         raise ValueError(
             f"executor must be one of {_EXECUTORS}, got {executor!r}")
     return executor
 
 
-def _suite_task(sid: int, solver: str, scale: str) -> MatrixRun:
-    """Picklable process-pool payload: one matrix run, assets cached locally.
+def _suite_task(request: RunRequest) -> MatrixRun:
+    """Picklable process-pool payload: one :class:`RunRequest`.
 
     Executes in a worker process, where the module-level asset cache is
     per-process state: the first task touching a ``(sid, scale)`` pair
     resolves the assets through its own hierarchy — a memory-mapped store
-    attach when ``REPRO_ASSET_STORE`` is configured (the parent
-    pre-materialised every entry), a local build otherwise — and later
-    tasks in the same worker reuse them.  The returned :class:`MatrixRun`
-    carries only plain arrays and floats.
+    attach when a store is configured (the parent pre-materialised every
+    entry), a local build otherwise — and later tasks in the same worker
+    reuse them.  The returned :class:`MatrixRun` carries only plain
+    arrays/floats, and the request itself is the exact JSON-serialisable
+    object a multi-host runner would ship instead of pickling.
     """
-    return run_matrix(sid, solver, scale)
+    return run_request(request)
 
 
 def _ensure_store_task(sid: int, scale: str) -> None:
@@ -597,34 +659,63 @@ def _ensure_store_entries(ids: List[int], scale: str,
 def run_suite(solver: str, scale: Optional[str] = None,
               use_cache: bool = True,
               max_workers: Optional[int] = None,
-              executor: Optional[str] = None) -> Dict[int, MatrixRun]:
-    """Run (or fetch) the full 12-matrix evaluation for one solver.
+              executor: Optional[str] = None,
+              platforms: Optional[Iterable[str]] = None,
+              sids: Optional[Iterable[int]] = None,
+              config: Optional["api_config.RunConfig"] = None,
+              ) -> Dict[int, MatrixRun]:
+    """Run (or fetch) the suite evaluation for one solver.
 
     The per-matrix runs are independent, so they fan out over an executor
-    (``max_workers`` or ``REPRO_SUITE_WORKERS``; default: one worker per
-    matrix up to the CPU count).  ``executor`` — or ``REPRO_SUITE_EXECUTOR``
-    — selects ``"thread"`` (default; shares the in-process asset cache) or
+    (``max_workers``, or the active config's worker count; default: one
+    worker per matrix up to the CPU count).  ``executor`` — or the config —
+    selects ``"thread"`` (default; shares the in-process asset cache) or
     ``"process"`` (GIL-free; each worker process keeps its own asset cache,
-    the right choice for ``paper``-scale sweeps).  Results are identical to
-    serial execution either way and returned in Table V order.
+    the right choice for ``paper``-scale sweeps).  ``platforms``/``sids``
+    restrict the sweep to a registered-platform subset and/or a matrix
+    subset; subset results are identical to the corresponding slice of a
+    full run.  ``config`` installs a :class:`RunConfig` for the duration of
+    the call (otherwise the environment-derived config applies).  Results
+    are identical to serial execution either way and returned in Table V
+    order (or the ``sids`` order given).
     """
+    if config is not None:
+        with api_config.use(config):
+            return run_suite(solver, scale, use_cache, max_workers, executor,
+                             platforms, sids)
+    SOLVER_REGISTRY.get(solver)  # fail fast on unknown solvers
     scale = resolve_scale(scale)
     executor = _suite_executor(executor)
-    key = (scale, solver)
+    order = resolve_platforms(DEFAULT_PLATFORMS if platforms is None
+                              else platforms)
+    if sids is None:
+        ids = tuple(suite_ids())
+    else:
+        ids = tuple(int(sid) for sid in sids)
+        for sid in ids:
+            if sid not in PAPER_SUITE:
+                raise KeyError(f"unknown suite matrix id {sid}; have "
+                               f"{sorted(PAPER_SUITE)}")
+    # The registry generations are part of the key: a replace=True
+    # re-registration makes the same platform/solver name mean different
+    # work, and a name-only key would serve the stale sweep silently.
+    key = (scale, solver, order, ids,
+           PLATFORM_REGISTRY.generation, SOLVER_REGISTRY.generation)
     if use_cache:
         with _CACHE_LOCK:
             cached = _CACHE.get(key)
         if cached is not None:
             return cached
-    ids = suite_ids()
+    requests = [RunRequest(sid=sid, solver=solver, scale=scale,
+                           platforms=order) for sid in ids]
     workers = max_workers if max_workers is not None else _suite_workers(len(ids))
     if workers <= 1:
-        runs = {sid: run_matrix(sid, solver, scale) for sid in ids}
+        runs = {req.sid: run_request(req) for req in requests}
     elif executor == "process":
         pool = _process_pool(workers)
-        prewarm = _ensure_store_entries(ids, scale, pool)
-        futures = {sid: pool.submit(_suite_task, sid, solver, scale)
-                   for sid in ids}
+        prewarm = _ensure_store_entries(list(ids), scale, pool)
+        futures = {req.sid: pool.submit(_suite_task, req)
+                   for req in requests}
         runs = {sid: futures[sid].result() for sid in ids}
         for future in prewarm:
             # A failed pre-build already surfaced through its solve task
@@ -633,12 +724,25 @@ def run_suite(solver: str, scale: Optional[str] = None,
     else:
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="suite") as pool:
-            futures = {sid: pool.submit(run_matrix, sid, solver, scale)
-                       for sid in ids}
+            futures = {req.sid: pool.submit(run_request, req)
+                       for req in requests}
             runs = {sid: futures[sid].result() for sid in ids}
     with _CACHE_LOCK:
         _CACHE[key] = runs
     return runs
+
+
+def run_spec(spec: SuiteSpec, use_cache: bool = True,
+             config: Optional["api_config.RunConfig"] = None,
+             ) -> Dict[int, MatrixRun]:
+    """Execute a declarative :class:`SuiteSpec`.
+
+    The spec is pure data (lossless JSON round-trip), so
+    ``run_spec(SuiteSpec.from_json(text))`` reproduces a sweep received
+    across a process or host boundary bit-identically.
+    """
+    return run_suite(spec.solver, scale=spec.scale, use_cache=use_cache,
+                     platforms=spec.platforms, sids=spec.sids, config=config)
 
 
 def geometric_mean(values: List[float]) -> float:

@@ -6,6 +6,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.registry import SOLVER_REGISTRY
 from repro.experiments.common import default_spec_for
 from repro.experiments.reporting import format_table
 from repro.hardware.accelerator import MappingPlan, SolverTimingModel
@@ -32,10 +33,13 @@ def collect(scale: Optional[str] = None, sid: int = 355,
 
     # One partition shared by the mapping accounting and every noisy
     # operator of the sweep (the sweep changes sigma, never the blocks).
+    # The per-iteration operation shape comes from the solver registry.
+    sspec = SOLVER_REGISTRY.get("cg")
     blocked = BlockedMatrix(A, b=7)
     plan = MappingPlan.for_refloat(blocked.n_blocks, spec)
-    timing = SolverTimingModel(plan, spmvs_per_iteration=1,
-                               vector_ops_per_iteration=6)
+    timing = SolverTimingModel(
+        plan, spmvs_per_iteration=sspec.spmvs_per_iteration,
+        vector_ops_per_iteration=sspec.vector_ops_per_iteration)
     gpu = GPUSolverModel.cg()
 
     out = []

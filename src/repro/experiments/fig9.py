@@ -9,20 +9,34 @@ from repro.experiments.common import run_suite
 from repro.experiments.reporting import format_table
 from repro.sparse.gallery.suite import suite_ids
 
-__all__ = ["run", "collect"]
+__all__ = ["run", "collect", "TRACE_PLATFORMS"]
 
 
-def collect(scale: Optional[str] = None, max_points: int = 48) -> Dict[str, dict]:
-    """Per (solver, matrix, platform) traces on the normalised time axis."""
+#: Platforms whose traces the figure draws (the paper plots these three).
+TRACE_PLATFORMS = ("gpu", "feinberg_fc", "refloat")
+
+
+def collect(scale: Optional[str] = None, max_points: int = 48,
+            platforms: Optional[tuple] = None) -> Dict[str, dict]:
+    """Per (solver, matrix, platform) traces on the normalised time axis.
+
+    ``platforms`` selects which swept platforms to trace (default: the
+    paper's three); the GPU is always swept as the normalisation baseline.
+    """
+    trace_platforms = TRACE_PLATFORMS if platforms is None else tuple(platforms)
+    # Default traces come from the shared full-grid sweep (one set of runs
+    # serves Fig. 8/9 and Table VI); an explicit subset sweeps just itself.
+    sweep = (None if platforms is None
+             else tuple(dict.fromkeys(("gpu",) + trace_platforms)))
     out: Dict[str, dict] = {}
     for solver in ("cg", "bicgstab"):
-        runs = run_suite(solver, scale)
+        runs = run_suite(solver, scale, platforms=sweep)
         per_matrix = {}
         for sid in suite_ids():
             run = runs[sid]
             t_gpu = run.times_s["gpu"]
             series = {}
-            for platform in ("gpu", "feinberg_fc", "refloat"):
+            for platform in trace_platforms:
                 res = run.results[platform]
                 iters = max(len(res.residual_history) - 1, 1)
                 t_platform = run.times_s.get(platform)

@@ -64,6 +64,7 @@ from typing import Dict, Iterable, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api import config
 from repro.sparse.blocked import BlockedMatrix
 from repro.sparse.mmio import csr_from_arrays, csr_to_arrays
 
@@ -79,6 +80,9 @@ __all__ = [
     "note_build",
     "counters",
     "reset_counters",
+    "entry_stats",
+    "store_stats",
+    "gc_store",
 ]
 
 #: On-disk format version; bump when the layout *or* the suite generators
@@ -133,21 +137,26 @@ def reset_counters() -> None:
 
 
 def store_root() -> Optional[Path]:
-    """The configured store directory, or ``None`` when the store is off."""
-    env = os.environ.get("REPRO_ASSET_STORE")
-    if not env:
+    """The configured store directory, or ``None`` when the store is off.
+
+    Sourced from the active :class:`repro.api.config.RunConfig` (i.e.
+    ``REPRO_ASSET_STORE`` unless a config object is installed).
+    """
+    store = config.active().store
+    if not store:
         return None
-    return Path(env)
+    return Path(store)
 
 
 def _verify_checksums() -> bool:
-    """Checksum verification toggle (``REPRO_ASSET_STORE_VERIFY=0`` skips).
+    """Checksum verification toggle (``store_verify`` /
+    ``REPRO_ASSET_STORE_VERIFY=0`` skips).
 
     Verification reads each file once, which at paper scale is still far
     cheaper than a rebuild; disabling it keeps loads purely lazy/mmapped
     for stores on trusted local disks.
     """
-    return os.environ.get("REPRO_ASSET_STORE_VERIFY", "1") != "0"
+    return config.active().store_verify
 
 
 def entry_path(sid: int, scale: str, root: Optional[Path] = None) -> Path:
@@ -422,7 +431,116 @@ def load_entry(sid: int, scale: str, mmap: bool = True,
         _bump("misses")
         return None
     _bump("hits")
+    _note_use(path)
     loaded_extras = {name: arr for name, arr in arrays.items()
                      if name not in _CORE_ARRAYS}
     return StoreEntry(sid=int(sid), scale=scale, A=A, b=arrays["b"],
                       blocked=blocked, extras=loaded_extras)
+
+
+# ----------------------------------------------------------------------
+# Stats and garbage collection
+
+#: Recency sidecar touched on every successful load.  File *access* times
+#: are not a reliable LRU signal — page-cache-served mmap reads never
+#: update atime, and relatime/noatime mounts suppress it — so GC orders by
+#: ``max(newest atime, last_used mtime)``: the sidecar is authoritative on
+#: any mount, with atime as the fallback for entries never loaded by a
+#: sidecar-aware build.
+_LAST_USED = "last_used"
+
+
+def _note_use(path: Path) -> None:
+    """Best-effort recency stamp; read-only stores must not fail loads."""
+    try:
+        (path / _LAST_USED).touch()
+    except OSError:
+        pass
+
+
+def entry_stats(root: Optional[Path] = None) -> list:
+    """Per-entry disk usage and recency, across *every* ``v*`` layout root.
+
+    Old-version entries (left behind by a :data:`STORE_VERSION` bump) are
+    included — they are exactly what GC should reclaim first.  Each item
+    is ``{"key", "version", "path", "nbytes", "atime", "current"}``;
+    ``atime`` is the entry's recency — the ``last_used`` sidecar's mtime
+    when present, else the newest file access time — the LRU signal
+    :func:`gc_store` evicts by.  Entries vanishing mid-scan (a concurrent
+    GC or discard) are skipped.
+    """
+    root = store_root() if root is None else Path(root)
+    if root is None or not root.is_dir():
+        return []
+    out = []
+    for vdir in sorted(root.glob("v*")):
+        if not vdir.is_dir():
+            continue
+        for entry in sorted(vdir.iterdir()):
+            if not (entry / "meta.json").is_file():
+                continue
+            nbytes = 0
+            atime = 0.0
+            try:
+                for f in entry.iterdir():
+                    st = f.stat()
+                    nbytes += st.st_size
+                    recency = (st.st_mtime if f.name == _LAST_USED
+                               else st.st_atime)
+                    atime = max(atime, recency)
+            except OSError:
+                continue
+            out.append({
+                "key": entry.name,
+                "version": vdir.name,
+                "path": str(entry),
+                "nbytes": nbytes,
+                "atime": atime,
+                "current": vdir.name == f"v{STORE_VERSION}",
+            })
+    return out
+
+
+def store_stats(root: Optional[Path] = None) -> Dict[str, object]:
+    """Aggregate store usage: entry count, total bytes, per-entry detail."""
+    entries = entry_stats(root)
+    store = store_root() if root is None else Path(root)
+    return {
+        "root": str(store) if store is not None else None,
+        "entries": len(entries),
+        "nbytes": sum(e["nbytes"] for e in entries),
+        "per_entry": entries,
+    }
+
+
+def gc_store(max_bytes: int, root: Optional[Path] = None) -> Dict[str, object]:
+    """Evict least-recently-used entries until the store fits ``max_bytes``.
+
+    Recency is the ``last_used`` sidecar :func:`load_entry` stamps on every
+    hit (atime is the fallback for entries no sidecar-aware process has
+    loaded — see :data:`_LAST_USED`), so warm entries survive even on
+    noatime mounts; stale-version entries age out naturally because
+    nothing loads them.
+    Eviction is always safe — a deleted entry is a future rebuild, never
+    data loss — and racing readers degrade to a miss-plus-rebuild.
+    Returns ``{"before_nbytes", "after_nbytes", "evicted": [keys],
+    "kept": n}``.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    entries = sorted(entry_stats(root), key=lambda e: e["atime"])
+    total = sum(e["nbytes"] for e in entries)
+    before = total
+    evicted = []
+    for entry in entries:
+        if total <= max_bytes:
+            break
+        shutil.rmtree(entry["path"], ignore_errors=True)
+        total -= entry["nbytes"]
+        evicted.append(f"{entry['version']}/{entry['key']}")
+    return {
+        "before_nbytes": before,
+        "after_nbytes": total,
+        "evicted": evicted,
+        "kept": len(entries) - len(evicted),
+    }

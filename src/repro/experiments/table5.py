@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional
+
+from repro.api import config as api_config
 
 from repro.experiments.reporting import format_table
 from repro.sparse.blocked import BlockedMatrix
@@ -43,7 +44,7 @@ def collect(scale: Optional[str] = None,
 def run(scale: Optional[str] = None, print_output: bool = True,
         with_condition: Optional[bool] = None) -> Dict[int, dict]:
     if with_condition is None:
-        with_condition = os.environ.get("REPRO_SKIP_KAPPA") != "1"
+        with_condition = not api_config.active().skip_kappa
     data = collect(scale, with_condition=with_condition)
     if print_output:
         rows = []

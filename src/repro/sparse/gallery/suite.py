@@ -15,11 +15,12 @@ argument).  Three size scales are provided:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import scipy.sparse as sp
+
+from repro.api.config import SCALES, active as _active_config
 
 from repro.sparse.gallery.generators import (
     hex_mass_matrix,
@@ -34,7 +35,8 @@ from repro.sparse.gallery.wathen import wathen
 
 __all__ = ["MatrixSpec", "PAPER_SUITE", "suite_ids", "build_matrix", "resolve_scale"]
 
-SCALES = ("test", "default", "paper")
+# SCALES lives in repro.api.config (the single source of truth, shared with
+# RunConfig validation) and is re-exported here for back-compat.
 
 
 @dataclass(frozen=True)
@@ -58,9 +60,14 @@ class MatrixSpec:
 
 
 def resolve_scale(scale: Optional[str]) -> str:
-    """Resolve a scale name, honouring ``REPRO_FULL=1`` when scale is None."""
+    """Resolve a scale name against the active config when ``None``.
+
+    The config's scale comes from an installed :class:`RunConfig` or from
+    the environment (``REPRO_FULL=1`` means ``"paper"``); unset everywhere
+    means ``"default"``.
+    """
     if scale is None:
-        scale = "paper" if os.environ.get("REPRO_FULL") == "1" else "default"
+        scale = _active_config().scale or "default"
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
     return scale
