@@ -25,8 +25,10 @@ from repro.api import (
     RunRequest,
     SolverSpec,
     SuiteSpec,
+    SweepSpec,
     register_platform,
     register_solver,
+    register_variant_family,
 )
 from repro.formats import DEFAULT_SPEC, ReFloatSpec
 from repro.operators import (
@@ -65,7 +67,9 @@ __all__ = [
     "RunRequest",
     "SolverSpec",
     "SuiteSpec",
+    "SweepSpec",
     "register_platform",
     "register_solver",
+    "register_variant_family",
     "__version__",
 ]

@@ -40,11 +40,22 @@ from repro.api.registry import (
 from repro.api.platforms import (  # noqa: F401 - installs registrations
     DEFAULT_NOISE_SIGMA,
     DEFAULT_PLATFORMS,
+    feinberg_platform_spec,
     noisy_platform_spec,
     truncated_platform_spec,
 )
 from repro.api.solvers import DEFAULT_SOLVERS  # noqa: F401 - installs registrations
 from repro.api.specs import RunRequest, SuiteSpec
+from repro.api.sweep import (  # noqa: F401 - installs builtin families
+    VARIANT_FAMILIES,
+    SweepSpec,
+    VariantFamily,
+    ensure_variant,
+    ensure_variant_platforms,
+    parse_variant_token,
+    register_variant_family,
+    variant_token,
+)
 
 __all__ = [
     "EXECUTORS",
@@ -65,8 +76,17 @@ __all__ = [
     "DEFAULT_NOISE_SIGMA",
     "DEFAULT_PLATFORMS",
     "DEFAULT_SOLVERS",
+    "feinberg_platform_spec",
     "noisy_platform_spec",
     "truncated_platform_spec",
     "RunRequest",
     "SuiteSpec",
+    "VARIANT_FAMILIES",
+    "SweepSpec",
+    "VariantFamily",
+    "ensure_variant",
+    "ensure_variant_platforms",
+    "parse_variant_token",
+    "register_variant_family",
+    "variant_token",
 ]

@@ -26,6 +26,9 @@ Resolution order, strongest first:
 | ``REPRO_ASSET_STORE``     | ``store``        | on-disk asset store root   |
 | ``REPRO_ASSET_STORE_VERIFY=0`` | ``store_verify`` | skip store checksums  |
 | ``REPRO_SKIP_KAPPA=1``    | ``skip_kappa``   | Table V without kappa      |
+| ``REPRO_SOLVER_TOL``      | ``criterion.tol``  | convergence tolerance    |
+| ``REPRO_SOLVER_MAX_ITERATIONS`` | ``criterion.max_iterations`` | iteration budget |
+| ``REPRO_SOLVER_DIVERGENCE_FACTOR`` | ``criterion.divergence_factor`` | breakdown multiple |
 """
 
 from __future__ import annotations
@@ -34,8 +37,9 @@ import contextlib
 import json
 import os
 from dataclasses import asdict, dataclass, replace
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional
 
+from repro.solvers.base import ConvergenceCriterion
 from repro.util.validation import check_env_positive_int, check_positive_int
 
 __all__ = [
@@ -80,15 +84,53 @@ def parse_payload(data: Dict[str, Any], type_name: str,
     return data
 
 
-def _parse_cache_mb(env: str, name: str = "REPRO_ASSET_CACHE_MB") -> float:
+def check_criterion(value: Any) -> Optional[ConvergenceCriterion]:
+    """Normalise a criterion field: dataclass, JSON-revived mapping, or
+    ``None`` (= defer to the default / the active config).  Shared by
+    :class:`RunConfig` and the :mod:`repro.api.specs` job objects."""
+    if value is None or isinstance(value, ConvergenceCriterion):
+        return value
+    if isinstance(value, Mapping):
+        return ConvergenceCriterion(**value)
+    raise ValueError(
+        f"criterion must be a ConvergenceCriterion, a mapping of its "
+        f"fields, or None, got {type(value).__name__}")
+
+
+def _parse_positive_float(env: str, name: str, hint: str = "") -> float:
     try:
-        mb = float(env)
+        value = float(env)
     except ValueError:
         raise ValueError(
-            f"{name} must be a number (megabytes), got {env!r}") from None
-    if mb <= 0:
+            f"{name} must be a number{hint}, got {env!r}") from None
+    if not value > 0:
         raise ValueError(f"{name} must be positive, got {env!r}")
-    return mb
+    return value
+
+
+def _parse_cache_mb(env: str, name: str = "REPRO_ASSET_CACHE_MB") -> float:
+    return _parse_positive_float(env, name, hint=" (megabytes)")
+
+
+def _criterion_from_env(env: Mapping[str, str]) -> Optional[ConvergenceCriterion]:
+    """The ``REPRO_SOLVER_*`` overlay on the default convergence criterion.
+
+    Returns ``None`` (= "use the built-in default") when no variable is set,
+    so an env-derived config equals ``RunConfig()`` in the common case.
+    """
+    fields: Dict[str, Any] = {}
+    raw = env.get("REPRO_SOLVER_TOL")
+    if raw:
+        fields["tol"] = _parse_positive_float(raw, "REPRO_SOLVER_TOL")
+    raw = env.get("REPRO_SOLVER_MAX_ITERATIONS")
+    if raw:
+        fields["max_iterations"] = check_env_positive_int(
+            "REPRO_SOLVER_MAX_ITERATIONS", raw)
+    raw = env.get("REPRO_SOLVER_DIVERGENCE_FACTOR")
+    if raw:
+        fields["divergence_factor"] = _parse_positive_float(
+            raw, "REPRO_SOLVER_DIVERGENCE_FACTOR")
+    return ConvergenceCriterion(**fields) if fields else None
 
 
 @dataclass(frozen=True)
@@ -108,11 +150,14 @@ class RunConfig:
     store: Optional[str] = None
     store_verify: bool = True
     skip_kappa: bool = False
+    criterion: Optional[ConvergenceCriterion] = None
 
     def __post_init__(self) -> None:
         if self.scale is not None and self.scale not in SCALES:
             raise ValueError(
                 f"scale must be one of {SCALES}, got {self.scale!r}")
+        object.__setattr__(self, "criterion",
+                           check_criterion(self.criterion))
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}")
@@ -155,6 +200,7 @@ class RunConfig:
         fields["store"] = env.get("REPRO_ASSET_STORE") or None
         fields["store_verify"] = env.get("REPRO_ASSET_STORE_VERIFY", "1") != "0"
         fields["skip_kappa"] = env.get("REPRO_SKIP_KAPPA") == "1"
+        fields["criterion"] = _criterion_from_env(env)
         fields.update(overrides)
         return cls(**fields)
 
@@ -166,6 +212,19 @@ class RunConfig:
         if self.asset_cache_mb is None:
             return None
         return int(self.asset_cache_mb * (1 << 20))
+
+    @property
+    def effective_criterion(self) -> ConvergenceCriterion:
+        """The convergence criterion every solver call site consumes.
+
+        ``None`` means the paper default (``ConvergenceCriterion()``: rtol
+        1e-8, 20000-iteration budget) — the single place that default is
+        spelled; experiment code must resolve through here, never repeat the
+        literal (CI greps for the literal).
+        """
+        if self.criterion is not None:
+            return self.criterion
+        return ConvergenceCriterion()
 
     def replace(self, **changes: Any) -> "RunConfig":
         """A copy with ``changes`` applied (validated like the original)."""

@@ -149,17 +149,35 @@ class Registry:
         self._kind = kind
         self._specs: Dict[str, Any] = {}
         self._generation = 0
+        self._versions: Dict[str, int] = {}
 
     @property
     def generation(self) -> int:
-        """Monotonic mutation counter.
+        """Monotonic mutation counter (bumped by every register/unregister).
 
-        Caches keyed by registry *names* must also key on this — after a
-        ``replace=True`` re-registration the same name means different
-        work, and serving the old results would be silent corruption (the
-        suite run cache includes it for exactly that reason).
+        Prefer :meth:`versions` for cache keys — the raw counter also moves
+        on *add-only* registrations (e.g. a sweep materialising a new
+        variant token), which would needlessly invalidate cached results
+        whose own names never changed meaning.
         """
         return self._generation
+
+    def versions(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Per-name registration stamps, for caches keyed by these names.
+
+        A ``replace=True`` re-registration bumps the stamp of exactly that
+        name — the same name now means different work, and serving old
+        results would be silent corruption — while registrations of
+        *other* names leave these stamps (and therefore the cache keys
+        built from them) untouched.  Unknown names raise the registry's
+        ``KeyError``.
+        """
+        out = []
+        for name in names:
+            if name not in self._versions:
+                self.get(name)  # raises the canonical unknown-name error
+            out.append(self._versions[name])
+        return tuple(out)
 
     def register(self, spec: Any, replace: bool = False) -> Any:
         if not replace and spec.name in self._specs:
@@ -168,11 +186,13 @@ class Registry:
                 f"(pass replace=True to override)")
         self._specs[spec.name] = spec
         self._generation += 1
+        self._versions[spec.name] = self._generation
         return spec
 
     def unregister(self, name: str) -> None:
         """Remove a registration (KeyError when absent) — test cleanup."""
         del self._specs[name]
+        self._versions.pop(name, None)
         self._generation += 1
 
     def get(self, name: str) -> Any:

@@ -17,7 +17,13 @@ import json
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
-from repro.api.config import SCALES, parse_payload, tag_payload
+from repro.api.config import (
+    SCALES,
+    check_criterion as _check_criterion,
+    parse_payload,
+    tag_payload,
+)
+from repro.solvers.base import ConvergenceCriterion
 
 __all__ = ["SuiteSpec", "RunRequest"]
 
@@ -34,6 +40,11 @@ def _check_scale(scale: Optional[str], required: bool) -> None:
 
 
 def _as_tuple(value, kind) -> Optional[tuple]:
+    """Normalise an optional name/id selection to a non-empty tuple.
+
+    Shared with :mod:`repro.api.sweep` (its solver/baseline/sid axes carry
+    the same contract).
+    """
     if value is None:
         return None
     if isinstance(value, (str, bytes)):
@@ -111,12 +122,19 @@ class RunRequest:
     the same work on every host) and the sid is singular.  This object is
     exactly what crosses the process-pool pickle boundary, and the seam a
     multi-host runner would ship.
+
+    ``criterion`` pins the convergence criterion the solve must use;
+    ``None`` defers to the executing process's active config.  Suite and
+    sweep runners always stamp the resolved criterion in, so a request
+    means the same work in a worker process whose config diverged from the
+    parent's (workers inherit their environment at fork time).
     """
 
     sid: int
     solver: str
     scale: str
     platforms: Optional[Tuple[str, ...]] = None
+    criterion: Optional[ConvergenceCriterion] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sid", int(self.sid))
@@ -125,6 +143,8 @@ class RunRequest:
         _check_scale(self.scale, required=True)
         object.__setattr__(self, "platforms",
                            _as_tuple(self.platforms, str))
+        object.__setattr__(self, "criterion",
+                           _check_criterion(self.criterion))
 
     def replace(self, **changes: Any) -> "RunRequest":
         return replace(self, **changes)

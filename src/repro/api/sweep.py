@@ -1,0 +1,408 @@
+"""Scenario sweeps: variant tokens, variant families, and :class:`SweepSpec`.
+
+A *variant* is a platform built from a parameterised family — ``noisy`` at
+a given RTN sigma, ``truncated``/``feinberg`` at a given ``(e, f)`` window.
+Its name is a **variant token**, a canonical string of the form::
+
+    family@key=value,key=value        e.g.  noisy@sigma=0.05
+                                            truncated@e=8,f=23
+
+The token is self-describing: any process that sees one can rebuild the
+exact platform from the family registry and register it on demand
+(:func:`ensure_variant`), so tokens travel through :class:`RunRequest`
+platform lists, across the process-pool pickle boundary, and into worker
+processes whose platform registries only hold the builtins.  Workers
+rebuild from *their own* family registry: the suite runner's pool
+identity includes this registry's generation, so on fork platforms a
+pool predating a :func:`register_variant_family` call is recreated and
+the forked workers inherit the new family; spawn-started workers
+re-import :mod:`repro.api`, so a user family must be registered as an
+import side effect of an importable module to be visible there.  Keys
+are sorted in the canonical form; values are ints, floats (``repr``
+spelling) or bare strings, so parse → format round-trips exactly and
+equal parameters always produce equal tokens (cache keys, store extras
+and JSON payloads rely on this).
+
+:class:`SweepSpec` is the declarative grid: one variant family, a
+cartesian parameter grid, plus solver/sid/scale axes and a baseline
+platform set.  It is pure data with a lossless JSON round trip —
+``repro.experiments.common.run_sweep`` executes it through the same
+executor fan-out and asset store as ``run_suite``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.api.config import parse_payload, tag_payload
+from repro.api.platforms import (
+    feinberg_platform_spec,
+    noisy_platform_spec,
+    truncated_platform_spec,
+)
+from repro.api.registry import PLATFORM_REGISTRY, PlatformSpec, Registry
+from repro.api.specs import _as_tuple, _check_scale
+
+__all__ = [
+    "VARIANT_FAMILIES",
+    "VariantFamily",
+    "SweepSpec",
+    "ensure_variant",
+    "ensure_variant_platforms",
+    "is_variant_token",
+    "parse_variant_token",
+    "register_variant_family",
+    "variant_token",
+]
+
+#: Separates the family name from the parameter list in a token.
+TOKEN_SEP = "@"
+
+_RESERVED = TOKEN_SEP + "=,"
+
+_JSON_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Token grammar
+
+
+def _format_value(value: Any) -> str:
+    """Canonical spelling of one parameter value (bools become 0/1)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if not value or any(ch in value for ch in _RESERVED):
+            raise ValueError(
+                f"string parameter values must be non-empty and free of "
+                f"{_RESERVED!r}, got {value!r}")
+        return value
+    raise ValueError(
+        f"variant parameters must be int/float/str, got "
+        f"{type(value).__name__} ({value!r})")
+
+
+def _parse_value(text: str) -> Any:
+    """Inverse of :func:`_format_value`: int, then float, then bare string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def variant_token(family: str, params: Dict[str, Any]) -> str:
+    """The canonical token for ``family`` at ``params`` (keys sorted)."""
+    if not family or any(ch in family for ch in _RESERVED):
+        raise ValueError(f"invalid variant family name {family!r}")
+    if not params:
+        raise ValueError(
+            f"variant of family {family!r} needs at least one parameter")
+    parts = []
+    for key in sorted(params):
+        if not key.isidentifier():
+            raise ValueError(f"invalid parameter name {key!r}")
+        parts.append(f"{key}={_format_value(params[key])}")
+    return f"{family}{TOKEN_SEP}{','.join(parts)}"
+
+
+def is_variant_token(name: object) -> bool:
+    """True for strings shaped like ``family@params`` (not validated)."""
+    return isinstance(name, str) and TOKEN_SEP in name
+
+
+def parse_variant_token(token: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a token into ``(family, params)``; rejects non-canonical forms.
+
+    Canonicality (sorted keys, shortest value spellings) is enforced by a
+    format round trip — two spellings of the same variant must never
+    coexist as distinct platform registrations or cache keys.
+    """
+    family, sep, body = token.partition(TOKEN_SEP)
+    if not sep or not family or not body:
+        raise ValueError(
+            f"malformed variant token {token!r} (expected "
+            f"'family{TOKEN_SEP}key=value,...')")
+    params: Dict[str, Any] = {}
+    for part in body.split(","):
+        key, sep, text = part.partition("=")
+        if not sep or not key or not text:
+            raise ValueError(
+                f"malformed parameter {part!r} in variant token {token!r}")
+        if key in params:
+            raise ValueError(
+                f"duplicate parameter {key!r} in variant token {token!r}")
+        params[key] = _parse_value(text)
+    canonical = variant_token(family, params)
+    if canonical != token:
+        raise ValueError(
+            f"non-canonical variant token {token!r}; use {canonical!r}")
+    return family, params
+
+
+# ----------------------------------------------------------------------
+# Variant families
+
+
+@dataclass(frozen=True)
+class VariantFamily:
+    """One parameterised platform family.
+
+    ``build(name, **params)`` returns the :class:`PlatformSpec` for one
+    point of the family's parameter space, already named with the variant
+    token.  Builders must be deterministic in their parameters: every
+    process that materialises the same token must produce the same
+    platform.
+    """
+
+    name: str
+    build: Callable[..., PlatformSpec]
+    description: str = ""
+
+
+#: Name → :class:`VariantFamily`.  Builtins (``noisy``, ``truncated``,
+#: ``feinberg``) register below; user families via
+#: :func:`register_variant_family`.
+VARIANT_FAMILIES = Registry("variant family")
+
+
+def register_variant_family(name: str, *, description: str = "",
+                            replace: bool = False,
+                            registry: Optional[Registry] = None,
+                            ) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn(name, **params) -> PlatformSpec`` as a
+    variant family builder (returned unchanged, so it stays callable)."""
+    reg = VARIANT_FAMILIES if registry is None else registry
+
+    def deco(fn: Callable) -> Callable:
+        reg.register(VariantFamily(name=name, build=fn,
+                                   description=description), replace=replace)
+        return fn
+
+    return deco
+
+
+#: Token → family-registry version stamp at materialisation time (tokens
+#: *this module* registered into the default PLATFORM_REGISTRY).  Lets
+#: :func:`ensure_variant` notice a ``register_variant_family(replace=True)``
+#: and rebuild the token from the new builder — serving the old platform
+#: would silently diverge from worker processes that rebuild fresh — while
+#: token-shaped names a user registered directly stay untouched.
+_MATERIALISED: Dict[str, int] = {}
+
+
+def ensure_variant(token: str, registry: Optional[Registry] = None,
+                   ) -> PlatformSpec:
+    """Materialise the platform a variant token names, registering it once.
+
+    Already-registered tokens return their spec unchanged — unless this
+    function materialised the token itself and its family has since been
+    re-registered with ``replace=True``, in which case the token is
+    rebuilt from the new builder (and its registry version bumps, so
+    cached results keyed on it invalidate).  Unknown families raise the
+    family registry's ``KeyError``; parameters the family's builder
+    rejects raise ``ValueError`` naming both.  Concurrent materialisation
+    of the same token is a benign race — builders are deterministic, so
+    the loser adopts the winner's registration.
+    """
+    reg = PLATFORM_REGISTRY if registry is None else registry
+    if token in reg:
+        stamp = None if reg is not PLATFORM_REGISTRY else \
+            _MATERIALISED.get(token)
+        if stamp is None:
+            return reg.get(token)  # user-registered: theirs to manage
+        family = token.partition(TOKEN_SEP)[0]
+        if (family not in VARIANT_FAMILIES
+                or stamp == VARIANT_FAMILIES.versions((family,))[0]):
+            return reg.get(token)
+        # Fall through: the family was replaced after materialisation.
+    family, params = parse_variant_token(token)
+    fam = VARIANT_FAMILIES.get(family)
+    fam_version = VARIANT_FAMILIES.versions((family,))[0]
+    try:
+        spec = fam.build(token, **params)
+    except TypeError as exc:
+        raise ValueError(
+            f"variant family {family!r} rejected parameters {params!r}: "
+            f"{exc}") from None
+    if spec.name != token:
+        raise ValueError(
+            f"variant family {family!r} built a platform named "
+            f"{spec.name!r} for token {token!r}")
+    try:
+        registered = reg.register(spec, replace=token in reg)
+    except ValueError:
+        # Another thread registered the (identical) variant first.
+        registered = reg.get(token)
+    if reg is PLATFORM_REGISTRY:
+        _MATERIALISED[token] = fam_version
+    return registered
+
+
+def ensure_variant_platforms(names: Iterable[str],
+                             registry: Optional[Registry] = None) -> None:
+    """Materialise every variant token in a platform selection.
+
+    Non-token names and non-sequence inputs pass through untouched —
+    :func:`repro.api.registry.resolve_platforms` owns their validation and
+    error messages.
+    """
+    if isinstance(names, (str, bytes)):
+        return
+    for name in names:
+        if is_variant_token(name):
+            ensure_variant(name, registry=registry)
+
+
+# ----------------------------------------------------------------------
+# Builtin families
+
+
+@register_variant_family(
+    "noisy", description="ReFloat + RTN noise: sigma, seed, fresh, setup")
+def _noisy_variant(name: str, sigma: float, seed: Optional[int] = None,
+                   fresh: int = 1, setup: int = 0) -> PlatformSpec:
+    """``sigma`` (required), ``seed`` (default: the matrix sid), ``fresh``
+    (redraw per apply; 0 freezes one realisation), ``setup`` (charge the
+    one-time mapping write — the Fig. 10 accounting)."""
+    return noisy_platform_spec(
+        name, sigma=float(sigma),
+        seed=None if seed is None else int(seed),
+        fresh_per_apply=bool(fresh), include_setup=bool(setup))
+
+
+@register_variant_family(
+    "truncated", description="naive IEEE truncation: e/f bit budgets")
+def _truncated_variant(name: str, e: int, f: int) -> PlatformSpec:
+    return truncated_platform_spec(name, exp_bits=int(e), frac_bits=int(f))
+
+
+@register_variant_family(
+    "feinberg", description="[32] window model: e/f bits, overflow policy")
+def _feinberg_variant(name: str, e: int = 6, f: int = 52,
+                      policy: str = "wrap") -> PlatformSpec:
+    return feinberg_platform_spec(name, exp_bits=int(e), frac_bits=int(f),
+                                  policy=policy)
+
+
+# ----------------------------------------------------------------------
+# The declarative sweep grid
+
+
+def _axis_values(values: Any) -> Tuple[Any, ...]:
+    """One axis of the grid: a scalar pins the parameter, a sequence sweeps
+    it.  Values are validated through the token formatter so a bad grid
+    fails at construction, not mid-sweep."""
+    if isinstance(values, (str, bytes)) or not isinstance(
+            values, (list, tuple)):
+        values = (values,)
+    out = tuple(values)
+    if not out:
+        raise ValueError("grid axes must be non-empty")
+    for value in out:
+        _format_value(value)
+    return out
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative scenario sweep: one variant family over a parameter grid.
+
+    ``grid`` maps parameter names to value axes (scalars pin a parameter;
+    sequences sweep it); the sweep expands to the cartesian product in the
+    axis order given.  ``solvers`` and ``sids`` add solver/matrix axes
+    (``sids=None`` = the full 12-matrix suite); ``scale`` of ``None``
+    defers to the active config.  ``baseline`` platforms are solved once
+    per (solver, sid) and grafted into every variant's result, so speedups
+    come without re-solving the reference per grid point.  Execute with
+    :func:`repro.experiments.common.run_sweep`.
+    """
+
+    family: str
+    grid: Any
+    solvers: Tuple[str, ...] = ("cg",)
+    baseline: Optional[Tuple[str, ...]] = ("gpu",)
+    sids: Optional[Tuple[int, ...]] = None
+    scale: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        VARIANT_FAMILIES.get(self.family)  # unknown family fails fast
+        grid = self.grid
+        if isinstance(grid, dict):
+            grid = tuple(grid.items())
+        elif isinstance(grid, (list, tuple)):
+            grid = tuple((k, v) for k, v in grid)
+        else:
+            raise ValueError(
+                f"grid must be a dict or sequence of (name, values) pairs, "
+                f"got {type(grid).__name__}")
+        if not grid:
+            raise ValueError("grid must name at least one parameter axis")
+        names = [str(k) for k, _ in grid]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate grid axes in {names}")
+        object.__setattr__(self, "grid", tuple(
+            (str(k), _axis_values(v)) for k, v in grid))
+        object.__setattr__(self, "solvers", _as_tuple(self.solvers, str))
+        if not self.solvers:
+            raise ValueError("solvers must name at least one solver")
+        object.__setattr__(self, "baseline", _as_tuple(self.baseline, str))
+        object.__setattr__(self, "sids", _as_tuple(self.sids, int))
+        _check_scale(self.scale, required=False)
+
+    # -- expansion -------------------------------------------------------
+
+    @property
+    def axes(self) -> Tuple[str, ...]:
+        """Grid parameter names, in sweep (= product) order."""
+        return tuple(name for name, _ in self.grid)
+
+    def variants(self) -> Tuple[Tuple[str, Dict[str, Any]], ...]:
+        """The grid points as ``(token, params)``, in deterministic order.
+
+        The cartesian product iterates the last axis fastest (like nested
+        loops over ``grid``'s axis order); the token spelling itself is
+        canonical (sorted keys), so equal grids expand identically
+        everywhere.
+        """
+        names = self.axes
+        out = []
+        for combo in itertools.product(*(vals for _, vals in self.grid)):
+            params = dict(zip(names, combo))
+            out.append((variant_token(self.family, params), params))
+        return tuple(out)
+
+    def tokens(self) -> Tuple[str, ...]:
+        return tuple(token for token, _ in self.variants())
+
+    def replace(self, **changes: Any) -> "SweepSpec":
+        return replace(self, **changes)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["grid"] = [[name, list(values)] for name, values in self.grid]
+        return tag_payload(data, "SweepSpec", _JSON_VERSION)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        return cls(**parse_payload(data, "SweepSpec", _JSON_VERSION))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))

@@ -13,6 +13,14 @@ flag mapping onto :class:`repro.api.RunConfig` / :class:`repro.api.SuiteSpec`)::
     python -m repro.experiments solve --sid 353 --solver bicgstab \
         --platforms gpu,refloat --scale test --json out.json
 
+Scenario sweeps over a variant-family parameter grid
+(:class:`repro.api.SweepSpec`; repeat ``--grid`` for extra axes)::
+
+    python -m repro.experiments sweep --platform noisy \
+        --grid sigma=0.001,0.01,0.25 --sids 355 --scale test --json -
+    python -m repro.experiments sweep --platform truncated \
+        --grid e=11 --grid f=20,26,52 --executor process
+
 Asset-store maintenance::
 
     python -m repro.experiments store --stats
@@ -29,7 +37,7 @@ from typing import List, Optional
 from repro.api import RunConfig, SuiteSpec
 from repro.api.specs import RunRequest
 
-_API_COMMANDS = ("suite", "solve", "store")
+_API_COMMANDS = ("suite", "solve", "sweep", "store")
 
 
 def _split_csv(text: Optional[str]) -> Optional[list]:
@@ -141,6 +149,53 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _grid_arg(text: str) -> tuple:
+    """One ``--grid`` axis: ``key=v1,v2,...`` (values typed like tokens)."""
+    from repro.api.sweep import _parse_value
+
+    key, sep, body = text.partition("=")
+    values = [item.strip() for item in body.split(",") if item.strip()]
+    if not sep or not key.strip() or not values:
+        raise argparse.ArgumentTypeError(
+            f"grid axes look like key=v1,v2,..., got {text!r}")
+    return key.strip(), tuple(_parse_value(v) for v in values)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api.sweep import SweepSpec
+    from repro.experiments.common import geometric_mean, run_sweep
+    from repro.experiments.reporting import format_table
+
+    if args.baseline is None:
+        baseline = ("gpu",)
+    elif [name.lower() for name in args.baseline] == ["none"]:
+        baseline = None
+    else:
+        baseline = tuple(args.baseline)
+    spec = SweepSpec(family=args.platform, grid=tuple(args.grid),
+                     solvers=(args.solver,), baseline=baseline,
+                     sids=args.sids, scale=args.scale)
+    result = run_sweep(spec, config=_run_config(args))
+    rows = []
+    for token in result.tokens:
+        cell = result.variant(token)
+        speedups = [run.speedup(token) for run in cell.values()]
+        for sid, run in cell.items():
+            its = run.iterations(token)
+            s = run.speedup(token)
+            rows.append([token, sid, its if its is not None else "NC",
+                         s if s == s else "NC"])
+        if len(cell) > 1:
+            gmn = geometric_mean(speedups)
+            rows.append([token, "GMN", "", gmn if gmn == gmn else "NC"])
+    print(format_table(
+        ["variant", "id", "#iterations", "speedup vs GPU"], rows,
+        title=f"sweep [{args.solver}] — {args.platform} grid over "
+              f"{len(result.tokens)} variants"))
+    _emit_json(result.to_dict(), args.json_out)
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from repro.api import use as use_config
     from repro.experiments import store
@@ -186,6 +241,38 @@ def _api_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--executor", choices=["thread", "process"],
                             default=None, help="fan-out executor")
         parser.set_defaults(func=_cmd_suite)
+    elif command == "sweep":
+        parser.add_argument("--platform", required=True, metavar="FAMILY",
+                            help="variant family to sweep (noisy, "
+                                 "truncated, feinberg, or user-registered)")
+        parser.add_argument("--grid", type=_grid_arg, action="append",
+                            required=True, metavar="KEY=V1,V2,...",
+                            help="one parameter axis of the grid "
+                                 "(repeat for more axes; a single value "
+                                 "pins the parameter)")
+        parser.add_argument("--solver", default="cg",
+                            help="registered solver name (default: cg)")
+        parser.add_argument("--baseline", type=_platforms_arg,
+                            default=None, metavar="P1,P2,...",
+                            help="baseline platforms solved once per "
+                                 "matrix and grafted into every variant "
+                                 "(default: gpu; 'none' for no baseline)")
+        parser.add_argument("--sids", type=_sids_arg, default=None,
+                            metavar="ID1,ID2,...",
+                            help="suite-matrix subset (default: all 12)")
+        parser.add_argument("--scale", choices=["test", "default", "paper"],
+                            default=None,
+                            help="matrix scale (default: 'default')")
+        parser.add_argument("--workers", type=int, default=None,
+                            help="fan-out width (default: one per run "
+                                 "up to the CPU count)")
+        parser.add_argument("--executor", choices=["thread", "process"],
+                            default=None, help="fan-out executor")
+        parser.add_argument("--json", dest="json_out", metavar="OUT",
+                            default=None,
+                            help="write the sweep (spec + per-variant "
+                                 "runs) as JSON to OUT, '-' for stdout")
+        parser.set_defaults(func=_cmd_sweep)
     elif command == "solve":
         parser.add_argument("--sid", type=int, required=True,
                             help="suite matrix id (Table V)")
@@ -222,10 +309,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a table/figure of the ReFloat paper, or "
-                    "run declarative jobs (suite/solve) and store "
+                    "run declarative jobs (suite/solve/sweep) and store "
                     "maintenance (store).")
     parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"],
-                        help="experiment to run (or: suite, solve, store)")
+                        help="experiment to run (or: suite, solve, sweep, "
+                             "store)")
     parser.add_argument("--scale", choices=["test", "default", "paper"],
                         default=None,
                         help="matrix scale (default: 'default', or 'paper' "

@@ -83,6 +83,12 @@ from repro.api.registry import (
     resolve_platforms,
 )
 from repro.api.specs import RunRequest, SuiteSpec
+from repro.api.sweep import (
+    VARIANT_FAMILIES,
+    SweepSpec,
+    ensure_variant_platforms,
+    is_variant_token,
+)
 from repro.experiments import store
 from repro.formats.feinberg import FeinbergSpec
 from repro.formats.refloat import ReFloatSpec
@@ -95,6 +101,7 @@ __all__ = [
     "PLATFORMS",
     "SOLVERS",
     "MatrixRun",
+    "SweepResult",
     "asset_cache_stats",
     "default_spec_for",
     "matrix_assets",
@@ -102,6 +109,7 @@ __all__ = [
     "run_request",
     "run_spec",
     "run_suite",
+    "run_sweep",
     "clear_run_caches",
     "geometric_mean",
 ]
@@ -163,9 +171,32 @@ _PROCESS_POOL_TOKEN: Optional[tuple] = None
 _PROCESS_POOL_OWNER: Optional[int] = None
 
 
+def _registry_pool_stamp() -> tuple:
+    """The registry state a worker must share with the parent.
+
+    Worker processes (on fork platforms) freeze the registries at pool
+    creation.  Variant *tokens* are exempt — workers rebuild those on
+    demand from their family registry — but a platform or solver
+    registered under a plain name after the fork would be unresolvable
+    (or, after ``replace=True``, silently mean the old work) in a stale
+    worker, so the pool identity covers every non-token name with its
+    per-name version.
+    """
+    platform_names = tuple(name for name in PLATFORM_REGISTRY.names()
+                           if not is_variant_token(name))
+    solver_names = SOLVER_REGISTRY.names()
+    return (platform_names, PLATFORM_REGISTRY.versions(platform_names),
+            solver_names, SOLVER_REGISTRY.versions(solver_names))
+
+
 def _pool_token(workers: int) -> tuple:
     cfg = api_config.active()
-    return (workers, cfg.store or "", cfg.store_verify, cfg.asset_cache_mb)
+    # The variant-family generation joins the registry stamp: workers
+    # materialise variant tokens from *their* family registry, so a pool
+    # predating a register_variant_family call would raise unknown-family
+    # KeyErrors for sweeps over the new family — such a pool is recreated.
+    return (workers, cfg.store or "", cfg.store_verify, cfg.asset_cache_mb,
+            VARIANT_FAMILIES.generation, _registry_pool_stamp())
 
 
 def _process_pool(workers: int) -> ProcessPoolExecutor:
@@ -522,11 +553,14 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
     """Solve one suite matrix on the selected platforms and attach times.
 
     ``platforms`` defaults to the paper's four-platform grid; any
-    registered platform name is accepted, and a platform that reuses
-    another's results (``feinberg_fc`` → ``gpu``) pulls its dependency into
-    the sweep automatically.  Matrix construction, partitioning and
-    operator quantisation come from the shared :func:`matrix_assets` cache
-    — the solve loops are the only per-call work.
+    registered platform name is accepted — including a variant token like
+    ``"noisy@sigma=0.05"``, materialised on demand from its family — and a
+    platform that reuses another's results (``feinberg_fc`` → ``gpu``)
+    pulls its dependency into the sweep automatically.  The convergence
+    criterion resolves argument > active config > paper default.  Matrix
+    construction, partitioning and operator quantisation come from the
+    shared :func:`matrix_assets` cache — the solve loops are the only
+    per-call work.
     """
     sspec = SOLVER_REGISTRY.get(solver)
     if sspec.multi_rhs:
@@ -534,9 +568,13 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
             f"solver {solver!r} is a multi-RHS (batched) solver; run_matrix "
             f"sweeps single-RHS solvers — call it directly for RHS blocks")
     scale = resolve_scale(scale)
-    order = resolve_platforms(DEFAULT_PLATFORMS if platforms is None
-                              else platforms)
-    crit = criterion or ConvergenceCriterion(tol=1e-8, max_iterations=20000)
+    names = (DEFAULT_PLATFORMS if platforms is None
+             else platforms if isinstance(platforms, (str, bytes))
+             else tuple(platforms))  # one-shot iterables: two passes below
+    ensure_variant_platforms(names)
+    order = resolve_platforms(names)
+    crit = (criterion if criterion is not None
+            else api_config.active().effective_criterion)
 
     info = PAPER_SUITE[sid]
     assets = matrix_assets(sid, scale)
@@ -572,6 +610,7 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
 def run_request(request: RunRequest) -> MatrixRun:
     """Execute one declarative :class:`RunRequest` (the distribution seam)."""
     return run_matrix(request.sid, request.solver, request.scale,
+                      criterion=request.criterion,
                       platforms=request.platforms)
 
 
@@ -656,12 +695,61 @@ def _ensure_store_entries(ids: List[int], scale: str,
     return [pool.submit(_ensure_store_task, sid, scale) for sid in missing]
 
 
+def _check_sids(sids: Optional[Iterable[int]]) -> Tuple[int, ...]:
+    """The sweep's matrix axis: the full suite, or a validated subset."""
+    if sids is None:
+        return tuple(suite_ids())
+    ids = tuple(int(sid) for sid in sids)
+    for sid in ids:
+        if sid not in PAPER_SUITE:
+            raise KeyError(f"unknown suite matrix id {sid}; have "
+                           f"{sorted(PAPER_SUITE)}")
+    return ids
+
+
+def _execute_requests(requests: List[RunRequest], workers: int,
+                      executor: str) -> List[MatrixRun]:
+    """Fan a batch of :class:`RunRequest`\\ s out; results align by index.
+
+    The shared execution engine behind :func:`run_suite` and
+    :func:`run_sweep`: serial below two workers, the persistent process
+    pool (with asset-store pre-materialisation, so workers mmap-attach
+    instead of rebuilding) for ``"process"``, a thread pool otherwise.
+    Results are identical to serial execution on every path.
+    """
+    if workers <= 1 or len(requests) <= 1:
+        return [run_request(req) for req in requests]
+    if executor == "process":
+        pool = _process_pool(workers)
+        seen, prewarm_keys = set(), []
+        for req in requests:
+            if (req.sid, req.scale) not in seen:
+                seen.add((req.sid, req.scale))
+                prewarm_keys.append((req.sid, req.scale))
+        prewarm = []
+        for scale in {scale for _, scale in prewarm_keys}:
+            prewarm += _ensure_store_entries(
+                [sid for sid, s in prewarm_keys if s == scale], scale, pool)
+        futures = [pool.submit(_suite_task, req) for req in requests]
+        results = [future.result() for future in futures]
+        for future in prewarm:
+            # A failed pre-build already surfaced through its solve task
+            # (which rebuilds in-worker); just reap the future.
+            future.exception()
+        return results
+    with ThreadPoolExecutor(max_workers=workers,
+                            thread_name_prefix="suite") as pool:
+        futures = [pool.submit(run_request, req) for req in requests]
+        return [future.result() for future in futures]
+
+
 def run_suite(solver: str, scale: Optional[str] = None,
               use_cache: bool = True,
               max_workers: Optional[int] = None,
               executor: Optional[str] = None,
               platforms: Optional[Iterable[str]] = None,
               sids: Optional[Iterable[int]] = None,
+              criterion: Optional[ConvergenceCriterion] = None,
               config: Optional["api_config.RunConfig"] = None,
               ) -> Dict[int, MatrixRun]:
     """Run (or fetch) the suite evaluation for one solver.
@@ -674,59 +762,51 @@ def run_suite(solver: str, scale: Optional[str] = None,
     the right choice for ``paper``-scale sweeps).  ``platforms``/``sids``
     restrict the sweep to a registered-platform subset and/or a matrix
     subset; subset results are identical to the corresponding slice of a
-    full run.  ``config`` installs a :class:`RunConfig` for the duration of
-    the call (otherwise the environment-derived config applies).  Results
-    are identical to serial execution either way and returned in Table V
-    order (or the ``sids`` order given).
+    full run.  ``criterion`` pins the convergence criterion (default: the
+    active config's), and the resolved criterion is stamped into every
+    :class:`RunRequest`, so process-pool workers honour it even though
+    their own config froze at fork time.  ``config`` installs a
+    :class:`RunConfig` for the duration of the call (otherwise the
+    environment-derived config applies).  Results are identical to serial
+    execution either way and returned in Table V order (or the ``sids``
+    order given).
     """
     if config is not None:
         with api_config.use(config):
             return run_suite(solver, scale, use_cache, max_workers, executor,
-                             platforms, sids)
+                             platforms, sids, criterion)
     SOLVER_REGISTRY.get(solver)  # fail fast on unknown solvers
     scale = resolve_scale(scale)
     executor = _suite_executor(executor)
-    order = resolve_platforms(DEFAULT_PLATFORMS if platforms is None
-                              else platforms)
-    if sids is None:
-        ids = tuple(suite_ids())
-    else:
-        ids = tuple(int(sid) for sid in sids)
-        for sid in ids:
-            if sid not in PAPER_SUITE:
-                raise KeyError(f"unknown suite matrix id {sid}; have "
-                               f"{sorted(PAPER_SUITE)}")
-    # The registry generations are part of the key: a replace=True
+    names = (DEFAULT_PLATFORMS if platforms is None
+             else platforms if isinstance(platforms, (str, bytes))
+             else tuple(platforms))  # one-shot iterables: two passes below
+    # Materialise variant tokens BEFORE reading the registry generation:
+    # first-time registrations bump it, and a key computed beforehand
+    # could never be hit again.
+    ensure_variant_platforms(names)
+    order = resolve_platforms(names)
+    ids = _check_sids(sids)
+    crit = (criterion if criterion is not None
+            else api_config.active().effective_criterion)
+    # Per-name registry versions are part of the key: a replace=True
     # re-registration makes the same platform/solver name mean different
-    # work, and a name-only key would serve the stale sweep silently.
-    key = (scale, solver, order, ids,
-           PLATFORM_REGISTRY.generation, SOLVER_REGISTRY.generation)
+    # work (a name-only key would serve the stale sweep silently), while
+    # registrations of *unrelated* names — say, a later sweep
+    # materialising new variant tokens — leave this key, and therefore
+    # the cached result, valid.
+    key = (scale, solver, order, ids, crit,
+           PLATFORM_REGISTRY.versions(order),
+           SOLVER_REGISTRY.versions((solver,)))
     if use_cache:
         with _CACHE_LOCK:
             cached = _CACHE.get(key)
         if cached is not None:
             return cached
     requests = [RunRequest(sid=sid, solver=solver, scale=scale,
-                           platforms=order) for sid in ids]
+                           platforms=order, criterion=crit) for sid in ids]
     workers = max_workers if max_workers is not None else _suite_workers(len(ids))
-    if workers <= 1:
-        runs = {req.sid: run_request(req) for req in requests}
-    elif executor == "process":
-        pool = _process_pool(workers)
-        prewarm = _ensure_store_entries(list(ids), scale, pool)
-        futures = {req.sid: pool.submit(_suite_task, req)
-                   for req in requests}
-        runs = {sid: futures[sid].result() for sid in ids}
-        for future in prewarm:
-            # A failed pre-build already surfaced through its solve task
-            # (which rebuilds in-worker); just reap the future.
-            future.exception()
-    else:
-        with ThreadPoolExecutor(max_workers=workers,
-                                thread_name_prefix="suite") as pool:
-            futures = {req.sid: pool.submit(run_request, req)
-                       for req in requests}
-            runs = {sid: futures[sid].result() for sid in ids}
+    runs = dict(zip(ids, _execute_requests(requests, workers, executor)))
     with _CACHE_LOCK:
         _CACHE[key] = runs
     return runs
@@ -743,6 +823,157 @@ def run_spec(spec: SuiteSpec, use_cache: bool = True,
     """
     return run_suite(spec.solver, scale=spec.scale, use_cache=use_cache,
                      platforms=spec.platforms, sids=spec.sids, config=config)
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`run_sweep` produced, keyed by variant token.
+
+    ``runs[(solver, token)][sid]`` is a :class:`MatrixRun` whose results
+    hold the variant *and* the grafted baseline platforms, so
+    ``run.speedup(token)`` works exactly as in a suite run.  ``params``
+    maps each token back to its grid point.
+    """
+
+    spec: SweepSpec
+    scale: str
+    criterion: ConvergenceCriterion
+    runs: Dict[Tuple[str, str], Dict[int, MatrixRun]]
+    params: Dict[str, Dict[str, Any]]
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        """The swept variant tokens, in grid-expansion order."""
+        return tuple(self.params)
+
+    @property
+    def sids(self) -> Tuple[int, ...]:
+        first = next(iter(self.runs.values()))
+        return tuple(first)
+
+    def variant(self, token: str, solver: Optional[str] = None,
+                ) -> Dict[int, MatrixRun]:
+        """All matrix runs of one variant (default: the first solver axis)."""
+        return self.runs[(solver or self.spec.solvers[0], token)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary: spec + per-variant, per-solver, per-sid runs."""
+        return {
+            "spec": self.spec.to_dict(),
+            "scale": self.scale,
+            "variants": {
+                token: {
+                    "params": dict(params),
+                    "solvers": {
+                        solver: {str(sid): run.to_dict()
+                                 for sid, run in
+                                 self.runs[(solver, token)].items()}
+                        for solver in self.spec.solvers
+                    },
+                }
+                for token, params in self.params.items()
+            },
+        }
+
+
+def _graft_baseline(variant_run: MatrixRun, baseline_run: MatrixRun,
+                    ) -> MatrixRun:
+    """A variant's run with the shared baseline results merged in.
+
+    The baseline platforms were solved exactly once per (solver, sid) —
+    merging reuses those results the way ``results_from`` does inside a
+    single run, so ``speedup()`` sees its reference without the sweep
+    re-solving it per grid point.
+    """
+    return MatrixRun(
+        sid=variant_run.sid, name=variant_run.name,
+        solver=variant_run.solver, n_rows=variant_run.n_rows,
+        nnz=variant_run.nnz, n_blocks=variant_run.n_blocks,
+        results={**baseline_run.results, **variant_run.results},
+        times_s={**baseline_run.times_s, **variant_run.times_s})
+
+
+def run_sweep(spec: SweepSpec, use_cache: bool = True,
+              max_workers: Optional[int] = None,
+              executor: Optional[str] = None,
+              criterion: Optional[ConvergenceCriterion] = None,
+              config: Optional["api_config.RunConfig"] = None) -> SweepResult:
+    """Execute a declarative :class:`SweepSpec` scenario sweep.
+
+    The grid expands to variant platforms (materialised from their family,
+    in this process and in every worker), and every (solver, variant, sid)
+    cell becomes one :class:`RunRequest` — all of them fanned out together
+    through the same thread/process executor and asset store as
+    :func:`run_suite`, so a single-matrix sigma sweep parallelises exactly
+    like a whole-suite run.  Baseline platforms are solved once per
+    (solver, sid) and grafted into each variant's :class:`MatrixRun`.
+    ``criterion``/``config`` resolve as in :func:`run_suite`, with the
+    resolved criterion stamped into every request.
+    """
+    if config is not None:
+        with api_config.use(config):
+            return run_sweep(spec, use_cache, max_workers, executor,
+                             criterion)
+    scale = resolve_scale(spec.scale)
+    executor = _suite_executor(executor)
+    variants = spec.variants()
+    ensure_variant_platforms([token for token, _ in variants])
+    if spec.baseline:
+        # The baseline set may name variant tokens too.
+        ensure_variant_platforms(spec.baseline)
+        baseline = resolve_platforms(spec.baseline)
+    else:
+        baseline = ()
+    for solver in spec.solvers:
+        if SOLVER_REGISTRY.get(solver).multi_rhs:
+            raise ValueError(
+                f"solver {solver!r} is a multi-RHS (batched) solver; sweeps "
+                f"run single-RHS solvers")
+    ids = _check_sids(spec.sids)
+    crit = (criterion if criterion is not None
+            else api_config.active().effective_criterion)
+    swept = baseline + tuple(token for token, _ in variants)
+    key = ("sweep", spec, scale, crit,
+           PLATFORM_REGISTRY.versions(swept),
+           SOLVER_REGISTRY.versions(spec.solvers))
+    if use_cache:
+        with _CACHE_LOCK:
+            cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+
+    def request(solver: str, platforms: Tuple[str, ...],
+                sid: int) -> RunRequest:
+        return RunRequest(sid=sid, solver=solver, scale=scale,
+                          platforms=platforms, criterion=crit)
+
+    requests = []
+    if baseline:
+        requests += [request(solver, baseline, sid)
+                     for solver in spec.solvers for sid in ids]
+    requests += [request(solver, (token,), sid)
+                 for solver in spec.solvers
+                 for token, _ in variants for sid in ids]
+    workers = (max_workers if max_workers is not None
+               else _suite_workers(len(requests)))
+    by_request = dict(zip(requests,
+                          _execute_requests(requests, workers, executor)))
+    runs: Dict[Tuple[str, str], Dict[int, MatrixRun]] = {}
+    for solver in spec.solvers:
+        for token, _ in variants:
+            cell = {}
+            for sid in ids:
+                vrun = by_request[request(solver, (token,), sid)]
+                if baseline:
+                    vrun = _graft_baseline(
+                        vrun, by_request[request(solver, baseline, sid)])
+                cell[sid] = vrun
+            runs[(solver, token)] = cell
+    result = SweepResult(spec=spec, scale=scale, criterion=crit, runs=runs,
+                         params={token: params for token, params in variants})
+    with _CACHE_LOCK:
+        _CACHE[key] = result
+    return result
 
 
 def geometric_mean(values: List[float]) -> float:

@@ -8,13 +8,15 @@ diverged, or broke down.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api import config as api_config
 from repro.experiments.reporting import format_table
 from repro.operators import TruncatedOperator
-from repro.solvers import ConvergenceCriterion, cg
+from repro.solvers import cg
 from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale
 
 __all__ = ["run", "collect", "FRAC_SWEEP", "EXP_SWEEP", "PAPER_TABLE1"]
@@ -33,11 +35,13 @@ PAPER_TABLE1 = {
 
 
 def collect(scale: Optional[str] = None, sid: int = 355,
-            max_iterations: int = 20000) -> Dict[str, List[dict]]:
+            max_iterations: Optional[int] = None) -> Dict[str, List[dict]]:
     scale = resolve_scale(scale)
     A = PAPER_SUITE[sid].matrix(scale)
     b = A @ np.ones(A.shape[0])
-    crit = ConvergenceCriterion(tol=1e-8, max_iterations=max_iterations)
+    crit = api_config.active().effective_criterion
+    if max_iterations is not None:
+        crit = replace(crit, max_iterations=max_iterations)
 
     def solve(exp_bits, frac_bits):
         op = TruncatedOperator(A, exp_bits=exp_bits, frac_bits=frac_bits)

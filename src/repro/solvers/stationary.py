@@ -16,6 +16,7 @@ from repro.solvers.base import (
     ConvergenceCriterion,
     SolverResult,
     as_operator,
+    check_initial_guess,
     check_system,
     quiet_fp_errors,
 )
@@ -27,7 +28,10 @@ __all__ = ["jacobi", "richardson"]
 def _run_stationary(op, b, correction, crit, x0) -> SolverResult:
     b = check_system(op, b)
     n = b.size
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    # Same named-error validation as the Krylov solvers: a wrong-length or
+    # non-finite guess fails here, not deep inside the first matvec.
+    x0 = check_initial_guess(x0, (n,))
+    x = np.zeros(n) if x0 is None else x0
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
         return SolverResult(x=np.zeros(n), converged=True, iterations=0,

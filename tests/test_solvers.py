@@ -217,22 +217,32 @@ class TestGMRES:
         assert res.residual_history[-1] == pytest.approx(1.0)
 
 
+def _richardson(A, b, **kwargs):
+    return richardson(A, b, 0.2, **kwargs)
+
+
+#: Every solver taking an initial guess — Krylov AND stationary (the
+#: stationary pair used to feed x0 raw into the first matvec).
+GUESS_SOLVERS = [cg, bicgstab, gmres, jacobi, _richardson]
+GUESS_IDS = ["cg", "bicgstab", "gmres", "jacobi", "richardson"]
+
+
 class TestInitialGuessValidation:
     """x0 must fail fast with a named error, not a deep broadcast crash."""
 
-    @pytest.mark.parametrize("solver", [cg, bicgstab, gmres])
+    @pytest.mark.parametrize("solver", GUESS_SOLVERS, ids=GUESS_IDS)
     def test_wrong_length_x0(self, solver):
         A, b, _ = system()
         with pytest.raises(ValueError, match="x0 must have shape"):
             solver(A, b, x0=np.ones(b.size + 3))
 
-    @pytest.mark.parametrize("solver", [cg, bicgstab, gmres])
+    @pytest.mark.parametrize("solver", GUESS_SOLVERS, ids=GUESS_IDS)
     def test_wrong_ndim_x0(self, solver):
         A, b, _ = system()
         with pytest.raises(ValueError, match="x0 must have shape"):
             solver(A, b, x0=np.ones((b.size, 1)))
 
-    @pytest.mark.parametrize("solver", [cg, bicgstab, gmres])
+    @pytest.mark.parametrize("solver", GUESS_SOLVERS, ids=GUESS_IDS)
     def test_non_finite_x0(self, solver):
         A, b, _ = system()
         x0 = np.zeros(b.size)
@@ -240,13 +250,22 @@ class TestInitialGuessValidation:
         with pytest.raises(ValueError, match="x0 contains non-finite"):
             solver(A, b, x0=x0)
 
-    @pytest.mark.parametrize("solver", [cg, bicgstab, gmres])
+    @pytest.mark.parametrize("solver", GUESS_SOLVERS, ids=GUESS_IDS)
     def test_x0_not_mutated(self, solver):
         A, b, _ = system()
         x0 = np.full(b.size, 0.5)
         keep = x0.copy()
         solver(A, b, x0=x0, criterion=CRIT)
         np.testing.assert_array_equal(x0, keep)
+
+    @pytest.mark.parametrize("solver", [jacobi, _richardson],
+                             ids=["jacobi", "richardson"])
+    def test_stationary_good_x0_still_accepted(self, solver):
+        # The exact solution as the guess: zero iterations, converged.
+        A, b, x_true = system(6)
+        res = solver(A, b, x0=x_true.copy(), criterion=CRIT)
+        assert res.converged
+        assert res.iterations == 0
 
 
 class TestStationary:
