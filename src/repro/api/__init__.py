@@ -12,10 +12,13 @@ The programmatic surface of the evaluation harness:
   ``repro/experiments/common.py``.
 * :class:`SuiteSpec` / :class:`RunRequest` — JSON-serialisable job objects
   (the process-pool payload, and the seam for a multi-host runner).
+* :mod:`repro.api.faults` — structured :class:`RunFailure` records and the
+  deterministic fault-injection plans (``crash``/``hang``/``fail`` tokens)
+  that exercise the run engine's recovery paths repeatably.
 
 Importing this package installs the builtin registrations (the four paper
 platforms plus the ``noisy``/``truncated`` scenarios; the cg/bicgstab and
-batched solvers).
+batched solvers; the builtin fault kinds).
 """
 
 from repro.api.config import (
@@ -43,6 +46,15 @@ from repro.api.platforms import (  # noqa: F401 - installs registrations
     feinberg_platform_spec,
     noisy_platform_spec,
     truncated_platform_spec,
+)
+from repro.api.faults import (  # noqa: F401 - installs builtin fault kinds
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFaultError,
+    RunFailure,
+    install_fault_plan,
+    register_fault_kind,
+    use_fault_plan,
 )
 from repro.api.solvers import DEFAULT_SOLVERS  # noqa: F401 - installs registrations
 from repro.api.specs import RunRequest, SuiteSpec
@@ -79,6 +91,13 @@ __all__ = [
     "feinberg_platform_spec",
     "noisy_platform_spec",
     "truncated_platform_spec",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFaultError",
+    "RunFailure",
+    "install_fault_plan",
+    "register_fault_kind",
+    "use_fault_plan",
     "RunRequest",
     "SuiteSpec",
     "VARIANT_FAMILIES",

@@ -26,6 +26,9 @@ Resolution order, strongest first:
 | ``REPRO_ASSET_STORE``     | ``store``        | on-disk asset store root   |
 | ``REPRO_ASSET_STORE_VERIFY=0`` | ``store_verify`` | skip store checksums  |
 | ``REPRO_SKIP_KAPPA=1``    | ``skip_kappa``   | Table V without kappa      |
+| ``REPRO_REQUEST_TIMEOUT`` | ``request_timeout`` | per-request seconds     |
+| ``REPRO_REQUEST_RETRIES`` | ``request_retries`` | extra attempts on error |
+| ``REPRO_RETRY_BACKOFF``   | ``retry_backoff``   | backoff base seconds    |
 | ``REPRO_SOLVER_TOL``      | ``criterion.tol``  | convergence tolerance    |
 | ``REPRO_SOLVER_MAX_ITERATIONS`` | ``criterion.max_iterations`` | iteration budget |
 | ``REPRO_SOLVER_DIVERGENCE_FACTOR`` | ``criterion.divergence_factor`` | breakdown multiple |
@@ -40,7 +43,14 @@ from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Iterator, Mapping, Optional
 
 from repro.solvers.base import ConvergenceCriterion
-from repro.util.validation import check_env_positive_int, check_positive_int
+from repro.util.validation import (
+    check_env_nonnegative_float,
+    check_env_nonnegative_int,
+    check_env_positive_float,
+    check_env_positive_int,
+    check_nonnegative_int,
+    check_positive_int,
+)
 
 __all__ = [
     "EXECUTORS",
@@ -151,6 +161,18 @@ class RunConfig:
     store_verify: bool = True
     skip_kappa: bool = False
     criterion: Optional[ConvergenceCriterion] = None
+    #: Per-request execution budget in seconds (``None`` = no timeout).
+    #: Enforced by the executor fan-outs; the serial path cannot interrupt
+    #: a running solve and ignores it.
+    request_timeout: Optional[float] = None
+    #: Extra attempts after a request raises (0 = fail on the first error,
+    #: the historical behaviour).  Process-pool *crash* recovery is not
+    #: charged against this budget — resubmission after a pool break is
+    #: bounded by the poison-pill counter instead.
+    request_retries: int = 0
+    #: Deterministic exponential backoff base: retry ``n`` sleeps
+    #: ``retry_backoff * 2**(n-1)`` seconds (0 = retry immediately).
+    retry_backoff: float = 0.0
 
     def __post_init__(self) -> None:
         if self.scale is not None and self.scale not in SCALES:
@@ -172,6 +194,22 @@ class RunConfig:
             object.__setattr__(self, "asset_cache_mb", mb)
         if self.store is not None:
             object.__setattr__(self, "store", os.fspath(self.store))
+        if self.request_timeout is not None:
+            timeout = float(self.request_timeout)
+            if not (timeout > 0 and timeout == timeout
+                    and timeout != float("inf")):
+                raise ValueError(
+                    f"request_timeout must be positive and finite, got "
+                    f"{self.request_timeout!r}")
+            object.__setattr__(self, "request_timeout", timeout)
+        object.__setattr__(self, "request_retries", check_nonnegative_int(
+            self.request_retries, "request_retries"))
+        backoff = float(self.retry_backoff)
+        if not (backoff >= 0 and backoff != float("inf")):
+            raise ValueError(
+                f"retry_backoff must be non-negative and finite, got "
+                f"{self.retry_backoff!r}")
+        object.__setattr__(self, "retry_backoff", backoff)
 
     # -- environment ----------------------------------------------------
 
@@ -200,6 +238,18 @@ class RunConfig:
         fields["store"] = env.get("REPRO_ASSET_STORE") or None
         fields["store_verify"] = env.get("REPRO_ASSET_STORE_VERIFY", "1") != "0"
         fields["skip_kappa"] = env.get("REPRO_SKIP_KAPPA") == "1"
+        raw = env.get("REPRO_REQUEST_TIMEOUT")
+        fields["request_timeout"] = (
+            check_env_positive_float("REPRO_REQUEST_TIMEOUT", raw)
+            if raw else None)
+        raw = env.get("REPRO_REQUEST_RETRIES")
+        fields["request_retries"] = (
+            check_env_nonnegative_int("REPRO_REQUEST_RETRIES", raw)
+            if raw else 0)
+        raw = env.get("REPRO_RETRY_BACKOFF")
+        fields["retry_backoff"] = (
+            check_env_nonnegative_float("REPRO_RETRY_BACKOFF", raw)
+            if raw else 0.0)
         fields["criterion"] = _criterion_from_env(env)
         fields.update(overrides)
         return cls(**fields)

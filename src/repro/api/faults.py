@@ -1,0 +1,384 @@
+"""Deterministic fault injection and structured failure records.
+
+The run engine (:mod:`repro.experiments.common`) promises production
+failure semantics — bounded retries, per-request timeouts, process-pool
+recovery — and every one of those paths must be exercised by *repeatable*
+tests, not by hoping a worker happens to die.  This module provides both
+halves:
+
+* :class:`RunFailure` — the structured record the engine returns (under
+  ``on_error="collect"``) instead of exploding: request key, exception
+  type/message, traceback, attempt count, and the *phase* the request died
+  in (``"solve"`` — the request raised; ``"timeout"`` — it outlived
+  ``request_timeout``; ``"pool"`` — it was poison-pilled after breaking
+  the process pool twice).
+
+* a **fault plan**: a set of fault tokens spelled in the variant-token
+  grammar of :mod:`repro.api.sweep` (``kind@key=value,...``)::
+
+      crash@attempt=1,sid=2257       SIGKILL the executing process
+      hang@secs=30,sid=494           sleep 30s inside the request
+      fail@attempts=1,sid=353        raise InjectedFaultError, once
+
+  Tokens are self-describing strings, so a plan crosses the process-pool
+  pickle boundary as data: the engine ships the active plan's tokens with
+  every task payload and the worker materialises them from *its own*
+  :data:`FAULT_KINDS` registry — exactly how variant tokens rebuild
+  platforms in processes that only know the builtins.  User fault kinds
+  register via :func:`register_fault_kind` (as an import side effect of an
+  importable module, for spawn-started workers).
+
+Faults fire at **named injection points** that ``run_request`` consults:
+``"solve"`` (before the solve starts — the default) and ``"result"``
+(after the solve completed, before the result is returned).  Matching is
+on ``(point, sid, attempt)``: ``attempt=1`` fires only on the first
+execution (so the retried request succeeds — the recovery-test shape),
+``attempt=0`` fires on *every* execution (a persistent crasher, the
+poison-pill-test shape), and an omitted ``sid`` matches every matrix.
+A fault-free run never pays more than one ``is None`` check per
+injection point.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import time
+import traceback as traceback_mod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.api.registry import Registry
+from repro.api.sweep import TOKEN_SEP, parse_variant_token
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "RunFailure",
+    "active_fault_plan",
+    "consult",
+    "install_fault_plan",
+    "parse_fault",
+    "plan_tokens",
+    "register_fault_kind",
+    "sync_fault_plan",
+    "use_fault_plan",
+]
+
+#: The places ``run_request`` consults the active plan.
+INJECTION_POINTS = ("solve", "result")
+
+#: The phases a request can fail in (see :class:`RunFailure`).
+FAILURE_PHASES = ("solve", "timeout", "pool")
+
+
+class InjectedFaultError(RuntimeError):
+    """The transient exception the ``fail`` fault kind raises."""
+
+
+# ----------------------------------------------------------------------
+# Structured failure records
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One request (or request-shaped unit of work) that did not produce a
+    result.
+
+    ``key`` is the canonical identity of the work (for engine requests,
+    :meth:`repro.api.specs.RunRequest.key`); ``attempts`` counts executions
+    actually started; ``phase`` says which failure path recorded it.  The
+    original exception object rides along in ``exception`` for
+    ``on_error="raise"`` re-raising but stays out of :meth:`to_dict` —
+    the record itself is pure JSON.
+    """
+
+    key: str
+    phase: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    sid: Optional[int] = None
+    solver: Optional[str] = None
+    exception: Optional[BaseException] = field(
+        default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.phase not in FAILURE_PHASES:
+            raise ValueError(
+                f"phase must be one of {FAILURE_PHASES}, got {self.phase!r}")
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, key: str, phase: str,
+                       attempts: int = 1, sid: Optional[int] = None,
+                       solver: Optional[str] = None) -> "RunFailure":
+        """Build a record from a caught exception (traceback included when
+        the exception carries one — process-pool exceptions arrive with the
+        remote traceback already folded into their message)."""
+        tb = "".join(traceback_mod.format_exception(
+            type(exc), exc, exc.__traceback__))
+        return cls(key=key, phase=phase, error_type=type(exc).__name__,
+                   message=str(exc), traceback=tb, attempts=attempts,
+                   sid=sid, solver=solver, exception=exc)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe record (the live exception object is dropped)."""
+        return {
+            "key": self.key, "phase": self.phase,
+            "error_type": self.error_type, "message": self.message,
+            "traceback": self.traceback, "attempts": self.attempts,
+            "sid": self.sid, "solver": self.solver,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault kinds and specs
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One materialised fault: where it fires and what it does.
+
+    ``fires_on`` decides attempt matching (kinds differ: ``crash`` fires on
+    one exact attempt, ``fail`` on every attempt up to a count); ``action``
+    performs the fault.  Neither crosses the pickle boundary — tokens do,
+    and every process rebuilds specs from its own kind registry.
+    """
+
+    token: str
+    kind: str
+    point: str
+    sid: Optional[int]
+    fires_on: Callable[[int], bool] = field(compare=False)
+    action: Callable[[], None] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"fault {self.token!r}: point must be one of "
+                f"{INJECTION_POINTS}, got {self.point!r}")
+
+    def matches(self, point: str, sid: int, attempt: int) -> bool:
+        return (point == self.point
+                and (self.sid is None or sid == self.sid)
+                and self.fires_on(attempt))
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One registered fault kind: ``build(token, **params) -> FaultSpec``.
+
+    Builders must be deterministic in their parameters, like variant-family
+    builders: every process that materialises the same token must produce a
+    fault with identical behaviour.
+    """
+
+    name: str
+    build: Callable[..., FaultSpec]
+    description: str = ""
+
+
+#: Name → :class:`FaultKind`.  Builtins (``crash``, ``hang``, ``fail``)
+#: register below; user kinds via :func:`register_fault_kind`.
+FAULT_KINDS = Registry("fault kind")
+
+
+def register_fault_kind(name: str, *, description: str = "",
+                        replace: bool = False,
+                        registry: Optional[Registry] = None,
+                        ) -> Callable[[Callable], Callable]:
+    """Decorator registering ``fn(token, **params) -> FaultSpec`` as a
+    fault-kind builder (returned unchanged, so it stays callable)."""
+    reg = FAULT_KINDS if registry is None else registry
+
+    def deco(fn: Callable) -> Callable:
+        reg.register(FaultKind(name=name, build=fn,
+                               description=description), replace=replace)
+        return fn
+
+    return deco
+
+
+def parse_fault(token: str) -> FaultSpec:
+    """Materialise one fault token (the variant-token grammar).
+
+    Unknown kinds raise the kind registry's ``KeyError``; parameters the
+    builder rejects raise ``ValueError`` naming both.
+    """
+    kind_name, params = parse_variant_token(token)
+    kind = FAULT_KINDS.get(kind_name)
+    try:
+        spec = kind.build(token, **params)
+    except TypeError as exc:
+        raise ValueError(
+            f"fault kind {kind_name!r} rejected parameters {params!r}: "
+            f"{exc}") from None
+    if spec.token != token:
+        raise ValueError(
+            f"fault kind {kind_name!r} built a fault for token "
+            f"{spec.token!r} instead of {token!r}")
+    return spec
+
+
+def _attempt_matcher(attempt: Any) -> Callable[[int], bool]:
+    """Exact-attempt matching: ``N`` fires on attempt N only, ``0`` always."""
+    n = int(attempt)
+    if n < 0:
+        raise ValueError(f"attempt must be >= 0 (0 = every attempt), got {n}")
+    if n == 0:
+        return lambda a: True
+    return lambda a: a == n
+
+
+@register_fault_kind(
+    "crash", description="SIGKILL the executing process: sid, attempt, point")
+def _crash_fault(token: str, sid: Optional[int] = None, attempt: int = 1,
+                 point: str = "solve") -> FaultSpec:
+    """``attempt`` (default 1: fire once, so the resubmitted request
+    succeeds; 0 = every attempt, the poison-pill shape)."""
+
+    def action() -> None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return FaultSpec(token=token, kind="crash", point=str(point),
+                     sid=None if sid is None else int(sid),
+                     fires_on=_attempt_matcher(attempt), action=action)
+
+
+@register_fault_kind(
+    "hang", description="sleep inside the request: secs, sid, attempt, point")
+def _hang_fault(token: str, sid: Optional[int] = None, secs: float = 3600.0,
+                attempt: int = 1, point: str = "solve") -> FaultSpec:
+    duration = float(secs)
+    if duration <= 0:
+        raise ValueError(f"hang secs must be positive, got {secs!r}")
+
+    def action() -> None:
+        time.sleep(duration)
+
+    return FaultSpec(token=token, kind="hang", point=str(point),
+                     sid=None if sid is None else int(sid),
+                     fires_on=_attempt_matcher(attempt), action=action)
+
+
+@register_fault_kind(
+    "fail", description="raise InjectedFaultError: sid, attempts, point")
+def _fail_fault(token: str, sid: Optional[int] = None, attempts: int = 1,
+                point: str = "solve") -> FaultSpec:
+    """``attempts`` = raise on every execution up to that count (default 1:
+    a transient error one retry absorbs; 0 = every attempt, permanent)."""
+    n = int(attempts)
+    if n < 0:
+        raise ValueError(f"attempts must be >= 0 (0 = every attempt), got {n}")
+    fires_on = (lambda a: True) if n == 0 else (lambda a: a <= n)
+
+    def action() -> None:
+        raise InjectedFaultError(f"injected fault {token}")
+
+    return FaultSpec(token=token, kind="fail", point=str(point),
+                     sid=None if sid is None else int(sid),
+                     fires_on=fires_on, action=action)
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault tokens (pure data; picklable; JSON-safe).
+
+    Construction materialises every token once to fail fast on unknown
+    kinds or bad parameters, but only the tokens are stored — each process
+    that receives a plan rebuilds the specs from its own registry.
+    """
+
+    tokens: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tokens",
+                           tuple(str(t) for t in self.tokens))
+        for token in self.tokens:
+            if TOKEN_SEP not in token:
+                raise ValueError(
+                    f"fault tokens look like 'kind{TOKEN_SEP}key=value,...', "
+                    f"got {token!r}")
+            parse_fault(token)
+
+    def materialise(self) -> Tuple[FaultSpec, ...]:
+        return tuple(parse_fault(token) for token in self.tokens)
+
+
+#: The process-wide active plan and its materialised specs.  Plain module
+#: globals on purpose (same contract as the config module): forked workers
+#: inherit them, and the engine re-syncs spawn-started workers by shipping
+#: the tokens with every task payload.
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+_ACTIVE_SPECS: Tuple[FaultSpec, ...] = ()
+
+
+def install_fault_plan(plan: Optional[Any]) -> Optional[FaultPlan]:
+    """Install a fault plan process-wide (``None`` or ``()`` clears it).
+
+    Accepts a :class:`FaultPlan` or any iterable of tokens; returns the
+    installed plan.
+    """
+    global _ACTIVE_PLAN, _ACTIVE_SPECS
+    if plan is not None and not isinstance(plan, FaultPlan):
+        plan = FaultPlan(tokens=tuple(plan))
+    if plan is not None and not plan.tokens:
+        plan = None
+    _ACTIVE_PLAN = plan
+    _ACTIVE_SPECS = () if plan is None else plan.materialise()
+    return plan
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    return _ACTIVE_PLAN
+
+
+def plan_tokens() -> Tuple[str, ...]:
+    """The active plan's tokens (empty when no plan) — the exact payload
+    the engine ships to worker processes."""
+    return () if _ACTIVE_PLAN is None else _ACTIVE_PLAN.tokens
+
+
+def sync_fault_plan(tokens: Optional[Iterable[str]]) -> None:
+    """Worker-side sync: adopt ``tokens`` as the active plan when they
+    differ from the current one (cheap no-op on every later task)."""
+    tokens = () if tokens is None else tuple(tokens)
+    if tokens == plan_tokens():
+        return
+    install_fault_plan(tokens or None)
+
+
+@contextlib.contextmanager
+def use_fault_plan(plan: Optional[Any]) -> Iterator[Optional[FaultPlan]]:
+    """Temporarily install a plan (restores the previous one on exit)."""
+    previous = _ACTIVE_PLAN
+    try:
+        yield install_fault_plan(plan)
+    finally:
+        install_fault_plan(previous)
+
+
+def consult(point: str, *, sid: int, solver: Optional[str] = None,
+            attempt: int = 1) -> None:
+    """Fire every active fault matching ``(point, sid, attempt)``.
+
+    Called from the named injection points in ``run_request``.  The
+    fault-free fast path is a single tuple-truthiness check.  ``solver``
+    is accepted for forward-compatible call sites but not matched on yet.
+    """
+    specs = _ACTIVE_SPECS
+    if not specs:
+        return
+    for spec in specs:
+        if spec.matches(point, sid, attempt):
+            spec.action()

@@ -149,6 +149,15 @@ class RunRequest:
     def replace(self, **changes: Any) -> "RunRequest":
         return replace(self, **changes)
 
+    def key(self) -> str:
+        """Canonical identity string: the sorted-key JSON body.
+
+        Equal requests produce equal keys in every process (tuples
+        serialise as lists, keys sort), so the key is what failure records
+        and the sweep journal index by across crash/resume boundaries.
+        """
+        return self.to_json()
+
     def to_dict(self) -> Dict[str, Any]:
         return _json_body(self, "RunRequest")
 

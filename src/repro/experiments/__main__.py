@@ -25,6 +25,17 @@ Asset-store maintenance::
 
     python -m repro.experiments store --stats
     python -m repro.experiments store --gc --max-mb 512
+
+Fault tolerance (suite and sweep): ``--retries``/``--timeout``/
+``--backoff`` map onto the :class:`RunConfig` knobs, ``--on-error
+collect`` returns partial results with failure records instead of
+raising, ``--journal``/``--resume`` give sweeps crash-durable progress,
+and ``--fault`` injects deterministic faults for drills::
+
+    python -m repro.experiments suite --executor process --retries 1 \
+        --on-error collect --fault crash@attempt=1,sid=2257
+    python -m repro.experiments sweep --platform noisy --grid sigma=0.01 \
+        --journal run.jsonl --resume
 """
 
 from __future__ import annotations
@@ -85,6 +96,43 @@ def _emit_json(payload: dict, target: Optional[str]) -> None:
             fh.write(text + "\n")
 
 
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by ``suite`` and ``sweep``."""
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="extra attempts per failed request "
+                             "(default: REPRO_REQUEST_RETRIES or 0)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-request timeout in seconds, enforced on "
+                             "pooled executors (default: "
+                             "REPRO_REQUEST_TIMEOUT or none)")
+    parser.add_argument("--backoff", type=float, default=None, metavar="SECS",
+                        help="retry backoff base: attempt n waits "
+                             "backoff*2^(n-1) seconds (default: "
+                             "REPRO_RETRY_BACKOFF or 0)")
+    parser.add_argument("--on-error", dest="on_error",
+                        choices=["raise", "collect"], default="raise",
+                        help="'raise' (default) propagates the first "
+                             "unrecoverable failure; 'collect' returns "
+                             "partial results with failure records "
+                             "(exit code 3 when any request failed)")
+    parser.add_argument("--fault", action="append", default=None,
+                        metavar="TOKEN",
+                        help="inject a deterministic fault for drills "
+                             "(repeatable); tokens use the variant "
+                             "grammar: 'crash@attempt=1,sid=2257', "
+                             "'hang@secs=30,sid=494', "
+                             "'fail@attempts=1,sid=353'")
+
+
+def _report_failures(failures) -> int:
+    """Print failure summaries to stderr; exit 3 when any survived."""
+    for f in failures:
+        sys.stderr.write(
+            f"FAILED [{f.phase}] sid={f.sid} solver={f.solver} after "
+            f"{f.attempts} attempt(s): {f.error_type}: {f.message}\n")
+    return 3 if failures else 0
+
+
 def _run_config(args: argparse.Namespace) -> RunConfig:
     """Flags layered over the environment-derived config (flags win)."""
     overrides = {}
@@ -94,17 +142,26 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
         overrides["executor"] = args.executor
     if args.scale is not None:
         overrides["scale"] = args.scale
+    if getattr(args, "timeout", None) is not None:
+        overrides["request_timeout"] = args.timeout
+    if getattr(args, "retries", None) is not None:
+        overrides["request_retries"] = args.retries
+    if getattr(args, "backoff", None) is not None:
+        overrides["retry_backoff"] = args.backoff
     return RunConfig.from_env(**overrides)
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.api.faults import use_fault_plan
     from repro.experiments.common import run_spec
     from repro.experiments.fig8 import PLATFORM_LABELS, speedup_table
     from repro.experiments.reporting import format_table
 
     spec = SuiteSpec(solver=args.solver, scale=args.scale,
                      platforms=args.platforms, sids=args.sids)
-    runs = run_spec(spec, config=_run_config(args))
+    with use_fault_plan(args.fault or None):
+        runs = run_spec(spec, config=_run_config(args),
+                        on_error=args.on_error)
     table = speedup_table(runs)
     rows = [[sid, name, runs[sid].iterations("gpu")]
             + [s if s == s else "NC" for s in speedups]
@@ -120,9 +177,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             print(f"GMN {PLATFORM_LABELS.get(p, p)}: {gmn:.4g}x")
     _emit_json({"spec": spec.to_dict(),
                 "runs": {str(sid): run.to_dict()
-                         for sid, run in runs.items()}},
+                         for sid, run in runs.items()},
+                "failures": [f.to_dict() for f in runs.failures],
+                "stats": (None if runs.stats is None
+                          else runs.stats.to_dict())},
                args.json_out)
-    return 0
+    return _report_failures(runs.failures)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -162,6 +222,7 @@ def _grid_arg(text: str) -> tuple:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api.faults import use_fault_plan
     from repro.api.sweep import SweepSpec
     from repro.experiments.common import geometric_mean, run_sweep
     from repro.experiments.reporting import format_table
@@ -175,7 +236,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(family=args.platform, grid=tuple(args.grid),
                      solvers=(args.solver,), baseline=baseline,
                      sids=args.sids, scale=args.scale)
-    result = run_sweep(spec, config=_run_config(args))
+    with use_fault_plan(args.fault or None):
+        result = run_sweep(spec, config=_run_config(args),
+                           on_error=args.on_error, journal=args.journal,
+                           resume=args.resume)
+    if args.journal is not None and result.stats is not None:
+        sys.stderr.write(
+            f"journal: {result.stats.journal_skipped} cell(s) replayed, "
+            f"{result.stats.requests} solved\n")
     rows = []
     for token in result.tokens:
         cell = result.variant(token)
@@ -193,7 +261,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         title=f"sweep [{args.solver}] — {args.platform} grid over "
               f"{len(result.tokens)} variants"))
     _emit_json(result.to_dict(), args.json_out)
-    return 0
+    return _report_failures(result.failures)
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -240,6 +308,7 @@ def _api_parser(command: str) -> argparse.ArgumentParser:
                                  "up to the CPU count)")
         parser.add_argument("--executor", choices=["thread", "process"],
                             default=None, help="fan-out executor")
+        _add_fault_flags(parser)
         parser.set_defaults(func=_cmd_suite)
     elif command == "sweep":
         parser.add_argument("--platform", required=True, metavar="FAMILY",
@@ -272,6 +341,16 @@ def _api_parser(command: str) -> argparse.ArgumentParser:
                             default=None,
                             help="write the sweep (spec + per-variant "
                                  "runs) as JSON to OUT, '-' for stdout")
+        _add_fault_flags(parser)
+        parser.add_argument("--journal", nargs="?", const="auto",
+                            default=None, metavar="PATH",
+                            help="append each completed cell to a "
+                                 "crash-durable JSONL journal (bare "
+                                 "--journal uses the store-rooted default "
+                                 "path)")
+        parser.add_argument("--resume", action="store_true",
+                            help="replay the journal first and solve only "
+                                 "the missing cells (requires --journal)")
         parser.set_defaults(func=_cmd_sweep)
     elif command == "solve":
         parser.add_argument("--sid", type=int, required=True,
@@ -302,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parser.error("--gc requires --max-mb N")
             if args.max_mb is not None and args.max_mb < 0:
                 parser.error("--max-mb must be >= 0")
+        if argv[0] == "sweep" and args.resume and args.journal is None:
+            parser.error("--resume requires --journal")
         return args.func(args)
 
     from repro.experiments import EXPERIMENTS, run_experiment

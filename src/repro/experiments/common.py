@@ -65,9 +65,17 @@ import atexit
 import math
 import os
 import threading
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 from collections.abc import Mapping
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -75,6 +83,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.api import config as api_config
+from repro.api import faults
+from repro.api.faults import RunFailure
 from repro.api.platforms import DEFAULT_PLATFORMS
 from repro.api.registry import (
     PLATFORM_REGISTRY,
@@ -100,7 +110,9 @@ from repro.sparse.gallery.suite import PAPER_SUITE, resolve_scale, suite_ids
 __all__ = [
     "PLATFORMS",
     "SOLVERS",
+    "ExecutionStats",
     "MatrixRun",
+    "SuiteResult",
     "SweepResult",
     "asset_cache_stats",
     "default_spec_for",
@@ -238,6 +250,24 @@ def _shutdown_process_pool() -> None:
     pool = _detach_process_pool()
     if pool is not None:
         pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _discard_process_pool(kill: bool = False) -> None:
+    """Drop the shared pool after a break or hang — reap it, never drain it.
+
+    ``kill=True`` SIGKILLs live workers first (the timeout-recovery path: a
+    worker stuck in a hung solve cannot be cancelled cooperatively); a pool
+    that is already broken just needs its bookkeeping shut down.  The next
+    :func:`_process_pool` call builds a fresh pool.
+    """
+    pool = _detach_process_pool()
+    if pool is None:
+        return
+    if kill:
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            if proc.is_alive():
+                proc.kill()
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _exit_process_pool() -> None:
@@ -545,6 +575,75 @@ class MatrixRun:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MatrixRun":
+        """Rebuild a *summary-grade* run from :meth:`to_dict` output.
+
+        The inverse is lossy by design — the summary drops iterate vectors
+        and residual histories — so the rebuilt ``results`` hold stub
+        :class:`SolverResult`\\ s (empty ``x``, ``NaN`` residual norm) that
+        carry exactly what reporting reads: convergence, iteration counts
+        and times.  A serialised ``time_s`` of ``None`` (non-finite on the
+        way out) round-trips to ``inf``, matching the live convention for
+        non-converged platforms.  This is what the sweep journal replays.
+        """
+        run = cls(sid=int(data["sid"]), name=str(data["name"]),
+                  solver=str(data["solver"]), n_rows=int(data["n_rows"]),
+                  nnz=int(data["nnz"]), n_blocks=int(data["n_blocks"]))
+        for name, cell in data["platforms"].items():
+            run.results[name] = SolverResult(
+                x=np.empty(0), converged=bool(cell["converged"]),
+                iterations=int(cell["iterations"]),
+                residual_norm=float("nan"))
+            time_s = cell.get("time_s")
+            run.times_s[name] = (float("inf") if time_s is None
+                                 else float(time_s))
+        return run
+
+
+@dataclass
+class ExecutionStats:
+    """Counters from one engine invocation (:func:`run_suite`/``run_sweep``).
+
+    ``requests`` is the batch size actually executed; ``retries`` counts
+    re-executions after an in-request exception or timeout; ``timeouts``
+    counts requests that outlived ``request_timeout``; ``pool_rebuilds``
+    counts process-pool replacements (breaks and timeout kills);
+    ``poisoned`` counts requests failed for breaking the pool twice;
+    ``journal_skipped`` counts sweep cells replayed from a journal instead
+    of solved.
+    """
+
+    requests: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    poisoned: int = 0
+    journal_skipped: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests, "retries": self.retries,
+            "timeouts": self.timeouts, "pool_rebuilds": self.pool_rebuilds,
+            "poisoned": self.poisoned,
+            "journal_skipped": self.journal_skipped,
+        }
+
+
+class SuiteResult(dict):
+    """``{sid: MatrixRun}`` plus fault-tolerance metadata.
+
+    A plain dict to every historical consumer (iteration, indexing,
+    equality all unchanged); ``failures`` holds the :class:`RunFailure`
+    records of cells that produced no run — non-empty only under
+    ``on_error="collect"`` — and ``stats`` the engine's
+    :class:`ExecutionStats` counters from the call that *executed* it (a
+    run-cache hit returns the original object, counters included).
+    """
+
+    failures: Tuple[RunFailure, ...] = ()
+    stats: Optional[ExecutionStats] = None
+
 
 def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
                criterion: Optional[ConvergenceCriterion] = None,
@@ -607,11 +706,24 @@ def run_matrix(sid: int, solver: str, scale: Optional[str] = None,
     return run
 
 
-def run_request(request: RunRequest) -> MatrixRun:
-    """Execute one declarative :class:`RunRequest` (the distribution seam)."""
-    return run_matrix(request.sid, request.solver, request.scale,
-                      criterion=request.criterion,
-                      platforms=request.platforms)
+def run_request(request: RunRequest, attempt: int = 1) -> MatrixRun:
+    """Execute one declarative :class:`RunRequest` (the distribution seam).
+
+    ``attempt`` is the execution ordinal the engine threads through on
+    retries/resubmissions.  The named fault-injection points live here —
+    ``"solve"`` before the work, ``"result"`` after it — so every executor
+    path (serial, thread pool, process-pool worker) consults the same
+    deterministic plan (:mod:`repro.api.faults`); a fault-free run pays one
+    emptiness check per point.
+    """
+    faults.consult("solve", sid=request.sid, solver=request.solver,
+                   attempt=attempt)
+    run = run_matrix(request.sid, request.solver, request.scale,
+                     criterion=request.criterion,
+                     platforms=request.platforms)
+    faults.consult("result", sid=request.sid, solver=request.solver,
+                   attempt=attempt)
+    return run
 
 
 def _suite_workers(n_tasks: int) -> int:
@@ -637,7 +749,8 @@ def _suite_executor(executor: Optional[str] = None) -> str:
     return executor
 
 
-def _suite_task(request: RunRequest) -> MatrixRun:
+def _suite_task(request: RunRequest, attempt: int = 1,
+                fault_tokens: Optional[Tuple[str, ...]] = None) -> MatrixRun:
     """Picklable process-pool payload: one :class:`RunRequest`.
 
     Executes in a worker process, where the module-level asset cache is
@@ -648,8 +761,14 @@ def _suite_task(request: RunRequest) -> MatrixRun:
     reuse them.  The returned :class:`MatrixRun` carries only plain
     arrays/floats, and the request itself is the exact JSON-serialisable
     object a multi-host runner would ship instead of pickling.
+
+    ``fault_tokens`` carries the parent's active fault plan as plain
+    strings — the worker materialises them from its own kind registry
+    (exactly how variant tokens rebuild platforms), so deterministic fault
+    injection crosses the pickle boundary regardless of start method.
     """
-    return run_request(request)
+    faults.sync_fault_plan(fault_tokens)
+    return run_request(request, attempt=attempt)
 
 
 def _ensure_store_task(sid: int, scale: str) -> None:
@@ -707,40 +826,329 @@ def _check_sids(sids: Optional[Iterable[int]]) -> Tuple[int, ...]:
     return ids
 
 
+def _check_on_error(on_error: str) -> str:
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}")
+    return on_error
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    """Deterministic exponential backoff before re-running ``attempt``:
+    ``backoff * 2**(attempt-1)`` seconds (``backoff=0`` retries at once)."""
+    if backoff > 0:
+        time.sleep(backoff * (2 ** (attempt - 1)))
+
+
+def _reraise(failures: List[RunFailure]) -> None:
+    """Propagate the first failure under ``on_error="raise"``."""
+    exc = failures[0].exception
+    if exc is not None:
+        raise exc
+    raise RuntimeError(  # pragma: no cover - exceptions always ride along
+        f"request failed: {failures[0].to_dict()}")
+
+
+def _prewarm_store(requests: List[RunRequest],
+                   pool: ProcessPoolExecutor) -> list:
+    """Queue the asset-store pre-materialisation tasks for a process fan-out."""
+    seen, prewarm_keys = set(), []
+    for req in requests:
+        if (req.sid, req.scale) not in seen:
+            seen.add((req.sid, req.scale))
+            prewarm_keys.append((req.sid, req.scale))
+    prewarm = []
+    for scale in {scale for _, scale in prewarm_keys}:
+        prewarm += _ensure_store_entries(
+            [sid for sid, s in prewarm_keys if s == scale], scale, pool)
+    return prewarm
+
+
+def _execute_serial(requests: List[RunRequest], on_error: str,
+                    on_result: Optional[Callable[[int, MatrixRun], None]],
+                    stats: ExecutionStats,
+                    ) -> Tuple[List[Optional[MatrixRun]], List[RunFailure]]:
+    """The serial engine path: in-process attempt loop per request.
+
+    ``request_timeout`` is *not* enforced here — a same-thread solve cannot
+    be interrupted from outside — which the config documents; retries and
+    backoff behave exactly as in the pooled paths.
+    """
+    cfg = api_config.active()
+    results: List[Optional[MatrixRun]] = [None] * len(requests)
+    failures: List[RunFailure] = []
+    for i, req in enumerate(requests):
+        attempt = 1
+        while True:
+            try:
+                run = run_request(req, attempt=attempt)
+            except Exception as exc:
+                if attempt <= cfg.request_retries:
+                    stats.retries += 1
+                    _backoff_sleep(cfg.retry_backoff, attempt)
+                    attempt += 1
+                    continue
+                if on_error == "raise":
+                    raise
+                failures.append(RunFailure.from_exception(
+                    exc, key=req.key(), phase="solve", attempts=attempt,
+                    sid=req.sid, solver=req.solver))
+                break
+            results[i] = run
+            if on_result is not None:
+                on_result(i, run)
+            break
+    return results, failures
+
+
+def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
+                    on_error: str,
+                    on_result: Optional[Callable[[int, MatrixRun], None]],
+                    stats: ExecutionStats,
+                    ) -> Tuple[List[Optional[MatrixRun]], List[RunFailure]]:
+    """The pooled engine path: one submit/collect loop for both executors.
+
+    State per request index: ``attempts`` (executions started — the fault
+    plan and the retry budget both count these), ``breaks`` (process-pool
+    breaks the request was in flight for).  Failure semantics:
+
+    * an in-request exception consumes one retry (re-queued with backoff)
+      until the budget runs out, then records a ``"solve"`` failure;
+    * a :class:`BrokenExecutor` means a worker died.  The pool is replaced,
+      completed results are kept, and every in-flight request is re-queued
+      *without* charging its retry budget.  A broken pool fails every
+      in-flight future indiscriminately, so the culprit cannot be read off
+      the break itself: a request that has now been in flight for *two*
+      breaks is instead re-run in **isolation** (alone in the fresh pool),
+      and a request that breaks the pool while running alone is convicted
+      and poison-pilled (a ``"pool"`` failure) — one deterministic crasher
+      cannot wedge the batch in a rebuild loop, and innocents caught in
+      the crossfire always complete;
+    * a request outliving ``request_timeout`` charges one retry (or records
+      a ``"timeout"`` failure); on the process pool its worker is killed
+      and the pool rebuilt (innocent in-flight requests re-queue without a
+      charge), on the thread pool the hung thread cannot be reclaimed
+      (best effort: its result is abandoned, the slot stays occupied until
+      it returns).
+
+    Submission caps in-flight work at the worker count when a timeout is
+    active (a queued-behind-a-hog request must not have its clock started);
+    without one, everything is submitted up front exactly as before.
+    """
+    cfg = api_config.active()
+    timeout, retries = cfg.request_timeout, cfg.request_retries
+    n = len(requests)
+    results: List[Optional[MatrixRun]] = [None] * n
+    failures: List[RunFailure] = []
+    attempts = [0] * n
+    breaks = [0] * n
+    queue = deque(range(n))
+    probe: deque = deque()  # twice-suspected: re-run in isolation
+    solo: Optional[int] = None  # the index currently running alone
+    inflight: Dict[Future, int] = {}
+    deadlines: Dict[Future, float] = {}
+    window = workers if timeout is not None else n
+    abandoned = 0  # hung thread-pool futures we stopped waiting on
+    process = executor == "process"
+    pool = _process_pool(workers) if process else ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="suite")
+    prewarm = _prewarm_store(requests, pool) if process else []
+
+    def fail(i: int, exc: BaseException, phase: str) -> None:
+        failures.append(RunFailure.from_exception(
+            exc, key=requests[i].key(), phase=phase, attempts=attempts[i],
+            sid=requests[i].sid, solver=requests[i].solver))
+
+    def suspect(i: int) -> None:
+        """Route one break victim: isolation after two breaks, else retry
+        in the crowd (front of the queue, order preserved by the caller)."""
+        breaks[i] += 1
+        if breaks[i] >= 2:
+            probe.appendleft(i)
+        else:
+            queue.appendleft(i)
+
+    def rebuild(kill: bool = False) -> None:
+        """Replace the pool; every in-flight request becomes a suspect."""
+        nonlocal pool, solo
+        stats.pool_rebuilds += 1
+        for fut, i in reversed(list(inflight.items())):
+            suspect(i)
+        inflight.clear()
+        deadlines.clear()
+        solo = None
+        _discard_process_pool(kill=kill)
+        pool = _process_pool(workers)
+
+    def submit(i: int) -> bool:
+        """Start one execution; False when the pool broke on submit."""
+        attempts[i] += 1
+        try:
+            if process:
+                fut = pool.submit(_suite_task, requests[i], attempts[i],
+                                  faults.plan_tokens())
+            else:
+                fut = pool.submit(run_request, requests[i], attempts[i])
+        except BrokenExecutor:
+            if not process:  # thread pools have no rebuild path
+                raise
+            attempts[i] -= 1
+            return False
+        inflight[fut] = i
+        if timeout is not None:
+            deadlines[fut] = time.monotonic() + timeout
+        return True
+
+    try:
+        while queue or probe or inflight:
+            if probe and not inflight:
+                # Isolation: one suspect alone in a fresh-or-idle pool, so
+                # a break unambiguously convicts it.
+                solo = probe.popleft()
+                while not submit(solo):
+                    stats.pool_rebuilds += 1
+                    _discard_process_pool()
+                    pool = _process_pool(workers)
+            elif solo is None and not probe:
+                while queue and len(inflight) < window:
+                    i = queue.popleft()
+                    if not submit(i):
+                        queue.appendleft(i)
+                        rebuild()
+            if not inflight:
+                continue
+            if timeout is not None:
+                wait_for = max(0.0, min(deadlines.values())
+                               - time.monotonic()) + 0.01
+            else:
+                wait_for = None
+            done, _ = wait(list(inflight), timeout=wait_for,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for fut in done:
+                i = inflight.pop(fut)
+                deadlines.pop(fut, None)
+                try:
+                    run = fut.result()
+                except BrokenExecutor:
+                    broken = True
+                    if solo == i:
+                        breaks[i] += 1
+                        stats.poisoned += 1
+                        fail(i, BrokenExecutor(
+                            f"request broke the process pool {breaks[i]} "
+                            f"times (the last time running alone)"), "pool")
+                        solo = None
+                    else:
+                        suspect(i)
+                except Exception as exc:
+                    if solo == i:
+                        solo = None
+                    if attempts[i] <= retries:
+                        stats.retries += 1
+                        _backoff_sleep(cfg.retry_backoff, attempts[i])
+                        queue.append(i)
+                    else:
+                        fail(i, exc, "solve")
+                else:
+                    if solo == i:
+                        solo = None
+                    results[i] = run
+                    if on_result is not None:
+                        on_result(i, run)
+            if broken and process:
+                rebuild()
+            if timeout is not None and not broken:
+                now = time.monotonic()
+                expired = [fut for fut, dl in deadlines.items() if dl <= now]
+                if expired:
+                    for fut in expired:
+                        i = inflight.pop(fut)
+                        deadlines.pop(fut)
+                        stats.timeouts += 1
+                        was_solo, solo = solo == i, (None if solo == i
+                                                     else solo)
+                        if not process:
+                            fut.cancel()
+                            abandoned += 1
+                        if attempts[i] <= retries:
+                            stats.retries += 1
+                            if was_solo:
+                                probe.appendleft(i)  # still suspect: isolate
+                            else:
+                                queue.append(i)
+                        else:
+                            fail(i, TimeoutError(
+                                f"request exceeded request_timeout="
+                                f"{timeout}s"), "timeout")
+                    if process:
+                        # The hung workers cannot be cancelled
+                        # cooperatively: kill the pool and re-queue the
+                        # innocent in-flight requests uncharged (their
+                        # execution never reached a verdict).
+                        stats.pool_rebuilds += 1
+                        for fut, i in reversed(list(inflight.items())):
+                            attempts[i] -= 1
+                            queue.appendleft(i)
+                        inflight.clear()
+                        deadlines.clear()
+                        _discard_process_pool(kill=True)
+                        pool = _process_pool(workers)
+            if failures and on_error == "raise":
+                break
+    finally:
+        for fut in inflight:
+            fut.cancel()
+        if process:
+            for fut in prewarm:
+                # A failed pre-build already surfaced through its solve
+                # task (which rebuilds in-worker); reap without raising.
+                if fut.done():
+                    fut.exception()
+                else:
+                    fut.cancel()
+        else:
+            # A hung thread cannot be joined without hanging ourselves:
+            # skip the drain when any future was abandoned on timeout.
+            pool.shutdown(wait=(abandoned == 0), cancel_futures=True)
+    if failures and on_error == "raise":
+        _reraise(failures)
+    return results, failures
+
+
 def _execute_requests(requests: List[RunRequest], workers: int,
-                      executor: str) -> List[MatrixRun]:
+                      executor: str, on_error: str = "raise",
+                      on_result: Optional[Callable[[int, MatrixRun],
+                                                   None]] = None,
+                      ) -> Tuple[List[Optional[MatrixRun]],
+                                 List[RunFailure], ExecutionStats]:
     """Fan a batch of :class:`RunRequest`\\ s out; results align by index.
 
     The shared execution engine behind :func:`run_suite` and
     :func:`run_sweep`: serial below two workers, the persistent process
     pool (with asset-store pre-materialisation, so workers mmap-attach
     instead of rebuilding) for ``"process"``, a thread pool otherwise.
-    Results are identical to serial execution on every path.
+    Fault-free results are identical to serial execution on every path.
+
+    Fault tolerance — retries with deterministic backoff, per-request
+    timeouts, broken-pool recovery — resolves through the active
+    :class:`RunConfig` (``request_timeout``/``request_retries``/
+    ``retry_backoff``).  Returns ``(results, failures, stats)``: results
+    hold ``None`` at failed indices, ``failures`` the matching
+    :class:`RunFailure` records (``on_error="raise"`` re-raises the first
+    failure instead), and ``stats`` the :class:`ExecutionStats` counters.
+    ``on_result(index, run)`` fires in the parent as each request
+    completes — the sweep journal's append hook.
     """
+    _check_on_error(on_error)
+    stats = ExecutionStats(requests=len(requests))
     if workers <= 1 or len(requests) <= 1:
-        return [run_request(req) for req in requests]
-    if executor == "process":
-        pool = _process_pool(workers)
-        seen, prewarm_keys = set(), []
-        for req in requests:
-            if (req.sid, req.scale) not in seen:
-                seen.add((req.sid, req.scale))
-                prewarm_keys.append((req.sid, req.scale))
-        prewarm = []
-        for scale in {scale for _, scale in prewarm_keys}:
-            prewarm += _ensure_store_entries(
-                [sid for sid, s in prewarm_keys if s == scale], scale, pool)
-        futures = [pool.submit(_suite_task, req) for req in requests]
-        results = [future.result() for future in futures]
-        for future in prewarm:
-            # A failed pre-build already surfaced through its solve task
-            # (which rebuilds in-worker); just reap the future.
-            future.exception()
-        return results
-    with ThreadPoolExecutor(max_workers=workers,
-                            thread_name_prefix="suite") as pool:
-        futures = [pool.submit(run_request, req) for req in requests]
-        return [future.result() for future in futures]
+        results, failures = _execute_serial(requests, on_error, on_result,
+                                            stats)
+    else:
+        results, failures = _execute_pooled(requests, workers, executor,
+                                            on_error, on_result, stats)
+    return results, failures, stats
 
 
 def run_suite(solver: str, scale: Optional[str] = None,
@@ -751,7 +1159,8 @@ def run_suite(solver: str, scale: Optional[str] = None,
               sids: Optional[Iterable[int]] = None,
               criterion: Optional[ConvergenceCriterion] = None,
               config: Optional["api_config.RunConfig"] = None,
-              ) -> Dict[int, MatrixRun]:
+              on_error: str = "raise",
+              ) -> "SuiteResult":
     """Run (or fetch) the suite evaluation for one solver.
 
     The per-matrix runs are independent, so they fan out over an executor
@@ -770,11 +1179,20 @@ def run_suite(solver: str, scale: Optional[str] = None,
     environment-derived config applies).  Results are identical to serial
     execution either way and returned in Table V order (or the ``sids``
     order given).
+
+    Failure handling: retries/timeouts/pool recovery resolve through the
+    active config (see :func:`_execute_requests`).  ``on_error="raise"``
+    (the default) propagates the first unrecoverable failure;
+    ``"collect"`` returns the completed runs with the failed cells'
+    :class:`RunFailure` records on ``result.failures`` and the engine
+    counters on ``result.stats``.  Partial (failure-carrying) results are
+    never cached.
     """
     if config is not None:
         with api_config.use(config):
             return run_suite(solver, scale, use_cache, max_workers, executor,
-                             platforms, sids, criterion)
+                             platforms, sids, criterion, on_error=on_error)
+    _check_on_error(on_error)
     SOLVER_REGISTRY.get(solver)  # fail fast on unknown solvers
     scale = resolve_scale(scale)
     executor = _suite_executor(executor)
@@ -806,15 +1224,21 @@ def run_suite(solver: str, scale: Optional[str] = None,
     requests = [RunRequest(sid=sid, solver=solver, scale=scale,
                            platforms=order, criterion=crit) for sid in ids]
     workers = max_workers if max_workers is not None else _suite_workers(len(ids))
-    runs = dict(zip(ids, _execute_requests(requests, workers, executor)))
-    with _CACHE_LOCK:
-        _CACHE[key] = runs
+    results, failures, stats = _execute_requests(requests, workers, executor,
+                                                 on_error=on_error)
+    runs = SuiteResult((sid, run) for sid, run in zip(ids, results)
+                       if run is not None)
+    runs.failures = tuple(failures)
+    runs.stats = stats
+    if not failures:
+        with _CACHE_LOCK:
+            _CACHE[key] = runs
     return runs
 
 
 def run_spec(spec: SuiteSpec, use_cache: bool = True,
              config: Optional["api_config.RunConfig"] = None,
-             ) -> Dict[int, MatrixRun]:
+             on_error: str = "raise") -> "SuiteResult":
     """Execute a declarative :class:`SuiteSpec`.
 
     The spec is pure data (lossless JSON round-trip), so
@@ -822,7 +1246,8 @@ def run_spec(spec: SuiteSpec, use_cache: bool = True,
     across a process or host boundary bit-identically.
     """
     return run_suite(spec.solver, scale=spec.scale, use_cache=use_cache,
-                     platforms=spec.platforms, sids=spec.sids, config=config)
+                     platforms=spec.platforms, sids=spec.sids, config=config,
+                     on_error=on_error)
 
 
 @dataclass
@@ -832,7 +1257,10 @@ class SweepResult:
     ``runs[(solver, token)][sid]`` is a :class:`MatrixRun` whose results
     hold the variant *and* the grafted baseline platforms, so
     ``run.speedup(token)`` works exactly as in a suite run.  ``params``
-    maps each token back to its grid point.
+    maps each token back to its grid point.  ``failures``/``stats`` carry
+    the engine's fault-tolerance metadata exactly as on
+    :class:`SuiteResult` — under ``on_error="collect"``, cells whose
+    request failed are simply absent from their ``runs`` dict.
     """
 
     spec: SweepSpec
@@ -840,6 +1268,8 @@ class SweepResult:
     criterion: ConvergenceCriterion
     runs: Dict[Tuple[str, str], Dict[int, MatrixRun]]
     params: Dict[str, Dict[str, Any]]
+    failures: Tuple[RunFailure, ...] = ()
+    stats: Optional[ExecutionStats] = None
 
     @property
     def tokens(self) -> Tuple[str, ...]:
@@ -873,6 +1303,8 @@ class SweepResult:
                 }
                 for token, params in self.params.items()
             },
+            "failures": [f.to_dict() for f in self.failures],
+            "stats": None if self.stats is None else self.stats.to_dict(),
         }
 
 
@@ -897,7 +1329,10 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
               max_workers: Optional[int] = None,
               executor: Optional[str] = None,
               criterion: Optional[ConvergenceCriterion] = None,
-              config: Optional["api_config.RunConfig"] = None) -> SweepResult:
+              config: Optional["api_config.RunConfig"] = None,
+              on_error: str = "raise",
+              journal: Optional[Any] = None,
+              resume: bool = False) -> SweepResult:
     """Execute a declarative :class:`SweepSpec` scenario sweep.
 
     The grid expands to variant platforms (materialised from their family,
@@ -909,11 +1344,27 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     (solver, sid) and grafted into each variant's :class:`MatrixRun`.
     ``criterion``/``config`` resolve as in :func:`run_suite`, with the
     resolved criterion stamped into every request.
+
+    ``on_error`` behaves as in :func:`run_suite` (``"collect"`` leaves
+    failed cells out of ``runs`` and attaches their records).  ``journal``
+    attaches a crash-durable progress log
+    (:class:`repro.experiments.journal.SweepJournal`): a path, or the
+    string ``"auto"`` for the store-rooted default; each completed cell is
+    appended as it arrives.  ``resume=True`` replays a previous journal
+    first and solves only the cells it is missing — the journal's header
+    must match this sweep.  A journaled run always executes (the run cache
+    is bypassed on read) so the journal ends up complete.
     """
     if config is not None:
         with api_config.use(config):
             return run_sweep(spec, use_cache, max_workers, executor,
-                             criterion)
+                             criterion, on_error=on_error, journal=journal,
+                             resume=resume)
+    _check_on_error(on_error)
+    if resume and journal is None:
+        raise ValueError(
+            "resume=True needs a journal (a path, or 'auto' for the "
+            "store-rooted default)")
     scale = resolve_scale(spec.scale)
     executor = _suite_executor(executor)
     variants = spec.variants()
@@ -936,7 +1387,7 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     key = ("sweep", spec, scale, crit,
            PLATFORM_REGISTRY.versions(swept),
            SOLVER_REGISTRY.versions(spec.solvers))
-    if use_cache:
+    if use_cache and journal is None:
         with _CACHE_LOCK:
             cached = _CACHE.get(key)
         if cached is not None:
@@ -954,25 +1405,61 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     requests += [request(solver, (token,), sid)
                  for solver in spec.solvers
                  for token, _ in variants for sid in ids]
+
+    jr = None
+    journaled: Dict[str, MatrixRun] = {}
+    if journal is not None:
+        from repro.experiments.journal import (
+            SweepJournal,
+            default_journal_path,
+        )
+
+        path = default_journal_path(spec) if journal == "auto" else journal
+        jr = SweepJournal(path)
+        if resume:
+            journaled = jr.load(spec, scale, crit)
+    to_run = [req for req in requests if req.key() not in journaled]
     workers = (max_workers if max_workers is not None
-               else _suite_workers(len(requests)))
-    by_request = dict(zip(requests,
-                          _execute_requests(requests, workers, executor)))
+               else _suite_workers(len(to_run) or 1))
+    if jr is not None:
+        jr.open(spec, scale, crit, resume=resume)
+
+        def on_result(i: int, run: MatrixRun) -> None:
+            jr.record(to_run[i].key(), run)
+    else:
+        on_result = None
+    try:
+        results, failures, stats = _execute_requests(
+            to_run, workers, executor, on_error=on_error,
+            on_result=on_result)
+    finally:
+        if jr is not None:
+            jr.close()
+    stats.journal_skipped = len(requests) - len(to_run)
+    by_key: Dict[str, MatrixRun] = dict(journaled)
+    for req, run in zip(to_run, results):
+        if run is not None:
+            by_key[req.key()] = run
     runs: Dict[Tuple[str, str], Dict[int, MatrixRun]] = {}
     for solver in spec.solvers:
         for token, _ in variants:
             cell = {}
             for sid in ids:
-                vrun = by_request[request(solver, (token,), sid)]
+                vrun = by_key.get(request(solver, (token,), sid).key())
+                if vrun is None:
+                    continue  # failed cell under on_error="collect"
                 if baseline:
-                    vrun = _graft_baseline(
-                        vrun, by_request[request(solver, baseline, sid)])
+                    brun = by_key.get(request(solver, baseline, sid).key())
+                    if brun is not None:
+                        vrun = _graft_baseline(vrun, brun)
                 cell[sid] = vrun
             runs[(solver, token)] = cell
     result = SweepResult(spec=spec, scale=scale, criterion=crit, runs=runs,
-                         params={token: params for token, params in variants})
-    with _CACHE_LOCK:
-        _CACHE[key] = result
+                         params={token: params for token, params in variants},
+                         failures=tuple(failures), stats=stats)
+    if not failures:
+        with _CACHE_LOCK:
+            _CACHE[key] = result
     return result
 
 

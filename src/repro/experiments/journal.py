@@ -1,0 +1,139 @@
+"""Append-only sweep journal: crash-durable progress for ``run_sweep``.
+
+A killed sweep (OOM, SIGKILL, power loss) used to throw away every
+completed cell.  With a journal attached, the parent appends one JSONL
+record per completed :class:`RunRequest` — flushed and fsynced as results
+arrive — and a re-invocation with ``resume=True`` loads the journal,
+skips every journaled cell, and solves only what is missing.
+
+Layout (version-stamped JSONL)::
+
+    {"type": "SweepJournal", "version": 1, "spec": {...},
+     "scale": "...", "criterion": {...}}          # header, line 1
+    {"key": "<RunRequest.key()>", "run": {...}}   # one line per result
+
+``run`` is :meth:`MatrixRun.to_dict` — the JSON-safe summary.  Resumed
+cells are therefore *summary-grade*: convergence, iterations and times
+survive (everything sweep reporting consumes), iterate vectors and
+residual histories do not.  A resume validates the header against the
+sweep being run — journals never silently mix grids — and tolerates a
+torn final line (the record being written when the process died).
+
+The default location (when a caller asks for a journal without naming a
+path) lives under the asset-store root, keyed by a digest of the spec:
+``$REPRO_ASSET_STORE/journals/sweep-<digest>.jsonl`` — the same sweep
+spec always resumes from the same file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.api.sweep import SweepSpec
+from repro.experiments import store
+from repro.solvers.base import ConvergenceCriterion
+
+__all__ = ["JOURNAL_VERSION", "SweepJournal", "default_journal_path"]
+
+JOURNAL_VERSION = 1
+
+
+def default_journal_path(spec: SweepSpec) -> Path:
+    """The store-rooted journal path for ``spec`` (stable across runs)."""
+    root = store.store_root()
+    if root is None:
+        raise ValueError(
+            "no asset store configured: a default journal path needs "
+            "REPRO_ASSET_STORE (or RunConfig.store) set, or pass an "
+            "explicit journal path")
+    digest = hashlib.sha256(spec.to_json().encode()).hexdigest()[:16]
+    return Path(root) / "journals" / f"sweep-{digest}.jsonl"
+
+
+class SweepJournal:
+    """One journal file: header-validated append/replay of sweep results."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    def _header(self, spec: SweepSpec, scale: str,
+                criterion: ConvergenceCriterion) -> Dict:
+        return {
+            "type": "SweepJournal", "version": JOURNAL_VERSION,
+            "spec": spec.to_dict(), "scale": scale,
+            "criterion": asdict(criterion),
+        }
+
+    def load(self, spec: SweepSpec, scale: str,
+             criterion: ConvergenceCriterion) -> Dict[str, "object"]:
+        """Replay the journal: ``{request key: MatrixRun}`` (summary-grade).
+
+        Missing file = nothing journaled.  A header that does not match
+        the sweep being resumed raises ``ValueError`` (resuming cell X of
+        grid A into grid B would silently corrupt results); a torn final
+        record is skipped.  Later records win over earlier ones for the
+        same key (append-only re-runs overwrite by replay order).
+        """
+        from repro.experiments.common import MatrixRun
+
+        if not self.path.exists():
+            return {}
+        expected = self._header(spec, scale, criterion)
+        runs: Dict[str, MatrixRun] = {}
+        with open(self.path, "r") as fh:
+            for lineno, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn trailing record: the crash point
+                if lineno == 0:
+                    if record != expected:
+                        raise ValueError(
+                            f"journal {self.path} was written by a "
+                            f"different sweep (spec/scale/criterion "
+                            f"mismatch); refusing to resume")
+                    continue
+                runs[record["key"]] = MatrixRun.from_dict(record["run"])
+        return runs
+
+    def open(self, spec: SweepSpec, scale: str,
+             criterion: ConvergenceCriterion, resume: bool) -> None:
+        """Open for appending.  Fresh runs truncate and write the header;
+        resumes (validated by :meth:`load` first) append after it."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            self._fh = open(self.path, "a")
+            return
+        self._fh = open(self.path, "w")
+        self._append(self._header(spec, scale, criterion))
+
+    def _append(self, record: Dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, key: str, run) -> None:
+        """Append one completed result (flushed + fsynced: a record either
+        fully survives a crash or is a torn line the replay skips)."""
+        self._append({"key": key, "run": run.to_dict()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+import scipy.sparse.linalg as spla
+
 from repro.api import config as api_config
+from repro.api.faults import RunFailure
 
 from repro.experiments.reporting import format_table
 from repro.sparse.blocked import BlockedMatrix
@@ -35,8 +39,16 @@ def collect(scale: Optional[str] = None,
         if with_condition:
             try:
                 entry["kappa"] = condition_number(A)
-            except Exception:
+            except (RuntimeError, ValueError, spla.ArpackError,
+                    np.linalg.LinAlgError) as exc:
+                # The eigensolvers legitimately fail on some analogs (no
+                # convergence, singular shift); the row survives with a NaN
+                # kappa and a structured record saying exactly why, instead
+                # of a silently swallowed error.
                 entry["kappa"] = float("nan")
+                entry["kappa_error"] = RunFailure.from_exception(
+                    exc, key=f"sid={sid}/kappa", phase="solve",
+                    sid=sid).to_dict()
         out[sid] = entry
     return out
 

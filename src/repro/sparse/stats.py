@@ -51,7 +51,11 @@ def extreme_eigenvalues(A, tol: float = 1e-6, maxiter: int = 5000):
     try:
         lam_min = float(spla.eigsh(A, k=1, sigma=0, which="LM", tol=tol,
                                    maxiter=maxiter, return_eigenvectors=False)[0])
-    except Exception:  # pragma: no cover - fallback path
+    except (RuntimeError, ValueError, spla.ArpackError,
+            np.linalg.LinAlgError):
+        # Shift-invert needs a sparse factorisation of A; a singular or
+        # otherwise unfactorisable matrix lands here (ARPACK convergence
+        # failures too).  Anything else — a genuine bug — propagates.
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
             rng = np.random.default_rng(0)

@@ -70,3 +70,60 @@ def check_env_positive_int(name: str, raw: str) -> int:
         raise ValueError(
             f"{name} must be a positive integer, got {name}={raw!r}")
     return value
+
+
+def check_env_nonnegative_int(name: str, raw: str) -> int:
+    """Parse an environment-variable value as a non-negative (>= 0) integer.
+
+    Same named-error pattern as :func:`check_env_positive_int` — the retry
+    count knob accepts ``0`` (= no retries) but nothing below it.
+    """
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be a non-negative integer, got {name}={raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{name} must be a non-negative integer, got {name}={raw!r}")
+    return value
+
+
+def _check_env_float(name: str, raw: str, kind: str) -> float:
+    import math
+
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be a {kind} number, got {name}={raw!r}") from None
+    if not math.isfinite(value):
+        raise ValueError(
+            f"{name} must be a {kind} number, got {name}={raw!r}")
+    return value
+
+
+def check_env_positive_float(name: str, raw: str) -> float:
+    """Parse an environment-variable value as a positive, finite float.
+
+    Zero, negatives, infinities and non-numerics raise the same
+    ``ValueError`` naming the variable and value (``NAME='raw'``) — the
+    timeout knob pattern: a timeout of 0 means a misconfiguration, never
+    "fail every request instantly".
+    """
+    value = _check_env_float(name, raw, "positive")
+    if value <= 0:
+        raise ValueError(
+            f"{name} must be a positive number, got {name}={raw!r}")
+    return value
+
+
+def check_env_nonnegative_float(name: str, raw: str) -> float:
+    """Parse an environment-variable value as a non-negative, finite float
+    (the backoff knob accepts ``0`` = retry immediately)."""
+    value = _check_env_float(name, raw, "non-negative")
+    if value < 0:
+        raise ValueError(
+            f"{name} must be a non-negative number, got {name}={raw!r}")
+    return value

@@ -128,12 +128,16 @@ class TestRunConfig:
         for var in ("REPRO_FULL", "REPRO_SUITE_WORKERS",
                     "REPRO_SUITE_EXECUTOR", "REPRO_ASSET_CACHE_MB",
                     "REPRO_ASSET_STORE", "REPRO_ASSET_STORE_VERIFY",
-                    "REPRO_SKIP_KAPPA"):
+                    "REPRO_SKIP_KAPPA", "REPRO_REQUEST_TIMEOUT",
+                    "REPRO_REQUEST_RETRIES", "REPRO_RETRY_BACKOFF"):
             monkeypatch.delenv(var, raising=False)
         cfg = RunConfig.from_env()
         assert cfg == RunConfig()
         assert cfg.executor == "thread"
         assert cfg.asset_cache_bytes is None
+        assert cfg.request_timeout is None
+        assert cfg.request_retries == 0
+        assert cfg.retry_backoff == 0.0
 
     def test_from_env_reads_every_var(self, monkeypatch):
         monkeypatch.setenv("REPRO_FULL", "1")
@@ -143,10 +147,15 @@ class TestRunConfig:
         monkeypatch.setenv("REPRO_ASSET_STORE", "/tmp/store")
         monkeypatch.setenv("REPRO_ASSET_STORE_VERIFY", "0")
         monkeypatch.setenv("REPRO_SKIP_KAPPA", "1")
+        monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", "30.5")
+        monkeypatch.setenv("REPRO_REQUEST_RETRIES", "2")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.25")
         cfg = RunConfig.from_env()
         assert cfg == RunConfig(scale="paper", workers=3, executor="process",
                                 asset_cache_mb=1.5, store="/tmp/store",
-                                store_verify=False, skip_kappa=True)
+                                store_verify=False, skip_kappa=True,
+                                request_timeout=30.5, request_retries=2,
+                                retry_backoff=0.25)
         assert cfg.asset_cache_bytes == int(1.5 * (1 << 20))
 
     def test_overrides_take_precedence_over_env(self, monkeypatch):
@@ -169,6 +178,41 @@ class TestRunConfig:
         with pytest.raises(ValueError, match="'lots'"):
             RunConfig.from_env()
 
+    @pytest.mark.parametrize("bad", ["0", "-1", "abc", "inf"])
+    def test_invalid_request_timeout_names_var_and_value(self, monkeypatch,
+                                                         bad):
+        # Zero/negative/non-numeric/non-finite timeouts must fail with the
+        # same named-error shape as REPRO_SUITE_WORKERS, not be clamped.
+        monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", bad)
+        with pytest.raises(ValueError,
+                           match=f"REPRO_REQUEST_TIMEOUT='{bad}'"):
+            RunConfig.from_env()
+
+    @pytest.mark.parametrize("bad", ["-1", "1.5", "x"])
+    def test_invalid_request_retries_names_var_and_value(self, monkeypatch,
+                                                         bad):
+        monkeypatch.setenv("REPRO_REQUEST_RETRIES", bad)
+        with pytest.raises(ValueError,
+                           match=f"REPRO_REQUEST_RETRIES='{bad}'"):
+            RunConfig.from_env()
+
+    @pytest.mark.parametrize("bad", ["-0.5", "nan", "y"])
+    def test_invalid_retry_backoff_names_var_and_value(self, monkeypatch,
+                                                       bad):
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", bad)
+        with pytest.raises(ValueError,
+                           match=f"REPRO_RETRY_BACKOFF='{bad}'"):
+            RunConfig.from_env()
+
+    def test_valid_fault_knobs_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_REQUEST_RETRIES", "0")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+        cfg = RunConfig.from_env()
+        assert cfg.request_timeout == 1.5
+        assert cfg.request_retries == 0
+        assert cfg.retry_backoff == 0.0
+
     def test_constructor_validation(self):
         with pytest.raises(ValueError, match="scale"):
             RunConfig(scale="huge")
@@ -178,11 +222,21 @@ class TestRunConfig:
             RunConfig(workers=0)
         with pytest.raises(ValueError, match="asset_cache_mb"):
             RunConfig(asset_cache_mb=-1)
+        with pytest.raises(ValueError, match="request_timeout"):
+            RunConfig(request_timeout=0)
+        with pytest.raises(ValueError, match="request_timeout"):
+            RunConfig(request_timeout=float("inf"))
+        with pytest.raises(ValueError, match="request_retries"):
+            RunConfig(request_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            RunConfig(retry_backoff=-0.1)
 
     def test_json_round_trip(self):
         cfg = RunConfig(scale="test", workers=2, executor="process",
                         asset_cache_mb=64.0, store="/tmp/s",
-                        store_verify=False, skip_kappa=True)
+                        store_verify=False, skip_kappa=True,
+                        request_timeout=12.0, request_retries=3,
+                        retry_backoff=0.5)
         assert RunConfig.from_json(cfg.to_json()) == cfg
         assert RunConfig.from_json(RunConfig().to_json()) == RunConfig()
 
