@@ -15,6 +15,9 @@ The programmatic surface of the evaluation harness:
 * :mod:`repro.api.faults` — structured :class:`RunFailure` records and the
   deterministic fault-injection plans (``crash``/``hang``/``fail`` tokens)
   that exercise the run engine's recovery paths repeatably.
+* :mod:`repro.api.graph` — the dependency-aware :class:`TaskGraph` /
+  :class:`GraphScheduler` the run engine compiles suites and sweeps into
+  (typed solve/baseline/asset nodes, named cycle errors, dependent-skip).
 
 Importing this package installs the builtin registrations (the four paper
 platforms plus the ``noisy``/``truncated`` scenarios; the cg/bicgstab and
@@ -55,6 +58,15 @@ from repro.api.faults import (  # noqa: F401 - installs builtin fault kinds
     install_fault_plan,
     register_fault_kind,
     use_fault_plan,
+)
+from repro.api.graph import (
+    AssetNode,
+    BaselineNode,
+    GraphCycleError,
+    GraphScheduler,
+    SolveNode,
+    TaskGraph,
+    compile_solve_graph,
 )
 from repro.api.solvers import DEFAULT_SOLVERS  # noqa: F401 - installs registrations
 from repro.api.specs import RunRequest, SuiteSpec
@@ -98,6 +110,13 @@ __all__ = [
     "install_fault_plan",
     "register_fault_kind",
     "use_fault_plan",
+    "AssetNode",
+    "BaselineNode",
+    "GraphCycleError",
+    "GraphScheduler",
+    "SolveNode",
+    "TaskGraph",
+    "compile_solve_graph",
     "RunRequest",
     "SuiteSpec",
     "VARIANT_FAMILIES",

@@ -11,7 +11,10 @@ halves:
   type/message, traceback, attempt count, and the *phase* the request died
   in (``"solve"`` — the request raised; ``"timeout"`` — it outlived
   ``request_timeout``; ``"pool"`` — it was poison-pilled after breaking
-  the process pool twice).
+  the process pool twice; ``"asset"`` — a store pre-warm node failed to
+  materialise its entry; ``"dependency"`` — the node itself never ran
+  because something it depends on failed, see
+  :meth:`RunFailure.from_dependency`).
 
 * a **fault plan**: a set of fault tokens spelled in the variant-token
   grammar of :mod:`repro.api.sweep` (``kind@key=value,...``)::
@@ -74,7 +77,7 @@ __all__ = [
 INJECTION_POINTS = ("solve", "result")
 
 #: The phases a request can fail in (see :class:`RunFailure`).
-FAILURE_PHASES = ("solve", "timeout", "pool")
+FAILURE_PHASES = ("solve", "timeout", "pool", "asset", "dependency")
 
 
 class InjectedFaultError(RuntimeError):
@@ -126,6 +129,21 @@ class RunFailure:
         return cls(key=key, phase=phase, error_type=type(exc).__name__,
                    message=str(exc), traceback=tb, attempts=attempts,
                    sid=sid, solver=solver, exception=exc)
+
+    @classmethod
+    def from_dependency(cls, *, key: str, dependency_key: str,
+                        dependency_phase: str, sid: Optional[int] = None,
+                        solver: Optional[str] = None) -> "RunFailure":
+        """The record for a node the scheduler *skipped*: it never ran
+        (``attempts=0``), because ``dependency_key`` — something it needed
+        — failed in ``dependency_phase``.  No exception rides along; under
+        ``on_error="raise"`` the dependency's own failure is what
+        re-raises."""
+        return cls(key=key, phase="dependency",
+                   error_type="DependencyFailed",
+                   message=(f"skipped: dependency {dependency_key!r} failed "
+                            f"in phase {dependency_phase!r}"),
+                   attempts=0, sid=sid, solver=solver)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe record (the live exception object is dropped)."""

@@ -282,35 +282,47 @@ def resolve_platforms(names: Iterable[str],
 
     A platform whose spec reuses another's results (``results_from``) pulls
     that dependency into the sweep ahead of itself, so any subset a caller
-    names is runnable.  Order is stable: dependencies first, then the
-    requested names in the order given, deduplicated.  Unknown names raise
-    the registry's ``KeyError``; dependency cycles raise ``ValueError``.
+    names is runnable.  The closure is a :class:`repro.api.graph.TaskGraph`
+    construction — each name is a node, each ``results_from`` an edge —
+    and the returned order is its topological order: dependencies first,
+    then the requested names in the order given, deduplicated.  Unknown
+    names raise the registry's ``KeyError``; dependency cycles raise the
+    graph's named :class:`~repro.api.graph.GraphCycleError` (a
+    ``ValueError``).
     """
+    from repro.api.graph import GraphCycleError, TaskGraph
+
     if isinstance(names, (str, bytes)):
         raise ValueError(
             f"platforms must be a sequence of names, got the bare string "
             f"{names!r} (did you mean [{names!r}]?)")
     reg = PLATFORM_REGISTRY if registry is None else registry
-    order: list = []
-    done: set = set()
-    visiting: set = set()
-
-    def add(name: str) -> None:
-        if name in done:
-            return
-        if name in visiting:
-            raise ValueError(
-                f"platform dependency cycle through {name!r}")
-        visiting.add(name)
-        spec = reg.get(name)
-        if spec.results_from is not None:
-            add(spec.results_from)
-        visiting.discard(name)
-        done.add(name)
-        order.append(name)
-
+    graph = TaskGraph()
     for name in names:
-        add(name)
+        # Walk the results_from chain depth-first so dependencies are
+        # *inserted* ahead of their dependents — the graph's insertion
+        # order is the tie-break that keeps the historical ordering.
+        chain: list = []
+        walked: set = set()
+        node = name
+        while node not in graph and node not in walked:
+            walked.add(node)
+            chain.append(node)
+            node = reg.get(node).results_from
+            if node is None:
+                break
+        for member in reversed(chain):
+            graph.add(member)
+        for member in chain:
+            dependency = reg.get(member).results_from
+            if dependency is not None:
+                graph.depend(member, dependency)
+    try:
+        order = graph.topological_order()
+    except GraphCycleError as exc:
+        raise GraphCycleError(
+            f"platform dependency cycle through {exc.members[0]!r}",
+            members=exc.members) from None
     if not order:
         raise ValueError("platform selection must not be empty")
     return tuple(order)

@@ -41,6 +41,14 @@ persistent on-disk store, then a full build — plus a configurable fan-out:
   vectorised, deterministic) re-runs on attach, so store hits are
   bit-identical to builds;
 * a *run* cache keyed ``(scale, solver)`` memoises whole-suite sweeps;
+* every batch compiles into a dependency-aware task graph
+  (:mod:`repro.api.graph`): solve nodes, baseline nodes variant solves
+  depend on ("needs baseline" — what used to be a solve-all-baselines
+  phase barrier), and asset nodes gating solves on their store entry
+  ("needs store entry").  A scheduler dispatches ready nodes as
+  dependencies complete — variant solves overlap still-running
+  baselines, pre-warm overlaps independent solves — and a failed node
+  skips its dependents with structured ``"dependency"`` failures;
 * :func:`run_suite` fans the 12 matrices out over an executor.
   ``REPRO_SUITE_EXECUTOR`` selects ``thread`` (default) or ``process``;
   ``REPRO_SUITE_WORKERS`` overrides the worker count, with ``1`` forcing
@@ -85,6 +93,11 @@ import scipy.sparse as sp
 from repro.api import config as api_config
 from repro.api import faults
 from repro.api.faults import RunFailure
+from repro.api.graph import (
+    GraphScheduler,
+    TaskGraph,
+    compile_solve_graph,
+)
 from repro.api.platforms import DEFAULT_PLATFORMS
 from repro.api.registry import (
     PLATFORM_REGISTRY,
@@ -605,27 +618,43 @@ class MatrixRun:
 class ExecutionStats:
     """Counters from one engine invocation (:func:`run_suite`/``run_sweep``).
 
-    ``requests`` is the batch size actually executed; ``retries`` counts
+    ``requests`` is the batch size actually executed; ``nodes``/``edges``
+    describe the compiled task graph (solve nodes plus any asset pre-warm
+    nodes, "needs baseline"/"needs store entry" edges); ``retries`` counts
     re-executions after an in-request exception or timeout; ``timeouts``
     counts requests that outlived ``request_timeout``; ``pool_rebuilds``
     counts process-pool replacements (breaks and timeout kills);
     ``poisoned`` counts requests failed for breaking the pool twice;
+    ``skipped`` counts nodes never run because a dependency failed (each
+    carries a ``"dependency"``-phase :class:`RunFailure`);
     ``journal_skipped`` counts sweep cells replayed from a journal instead
     of solved.
+
+    ``trace`` is the scheduler's per-node timing record — state, dispatch
+    count, monotonic first/last-dispatch and finish offsets — the proof
+    that dispatch overlaps (a variant starting before the last baseline
+    finished shows up directly).  It stays out of :meth:`to_dict`:
+    wall-clock offsets differ run to run, and the serialised stats must
+    stay byte-identical across executors (the CI equivalence gate).
     """
 
     requests: int = 0
+    nodes: int = 0
+    edges: int = 0
     retries: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
     poisoned: int = 0
+    skipped: int = 0
     journal_skipped: int = 0
+    trace: Dict[str, Dict[str, Any]] = field(default_factory=dict, repr=False)
 
     def to_dict(self) -> Dict[str, int]:
         return {
-            "requests": self.requests, "retries": self.retries,
+            "requests": self.requests, "nodes": self.nodes,
+            "edges": self.edges, "retries": self.retries,
             "timeouts": self.timeouts, "pool_rebuilds": self.pool_rebuilds,
-            "poisoned": self.poisoned,
+            "poisoned": self.poisoned, "skipped": self.skipped,
             "journal_skipped": self.journal_skipped,
         }
 
@@ -782,36 +811,41 @@ def _ensure_store_task(sid: int, scale: str) -> None:
     matrix_assets(sid, scale)
 
 
-def _ensure_store_entries(ids: List[int], scale: str,
-                          pool: ProcessPoolExecutor) -> list:
-    """Materialise every ``(sid, scale)`` store entry for a process fan-out.
+def _prewarm_plan(requests: List[RunRequest]) -> Tuple[Tuple[int, str], ...]:
+    """The ``(sid, scale)`` store entries a process fan-out must pre-warm.
 
     With a store configured, shipping bare ``(sid, solver, scale)`` keys is
     only cheap if the workers find the assets on disk — otherwise each
-    worker regenerates them from scratch.  Entries already published are
-    untouched; assets already in the parent's in-process cache are flushed
-    to disk without a rebuild; anything else is built once, fanned out over
-    the pool's own workers.  The returned futures are *not* awaited here —
-    the solve tasks queue right behind them, so workers with nothing to
-    pre-build start solving immediately.  All races are benign: the atomic
-    publish keeps exactly one winner, and a solve task that beats its
-    entry's pre-build simply builds in-worker as before.
+    worker regenerates them from scratch.  Entries already published need
+    nothing; assets already in the parent's in-process cache are flushed
+    to disk here without a rebuild; anything else becomes an
+    :class:`~repro.api.graph.AssetNode` in the compiled task graph, built
+    in a worker and gating exactly the solves of its ``(sid, scale)`` —
+    independent solves overlap with the pre-warm, and a pre-build failure
+    surfaces as a structured ``"asset"``-phase failure instead of being
+    silently dropped (the old fire-and-forget futures swallowed theirs).
     """
     if store.store_root() is None:
-        return []
-    missing = []
-    for sid in ids:
-        if store.has_entry(sid, scale):
+        return ()
+    plan: List[Tuple[int, str]] = []
+    seen: set = set()
+    for req in requests:
+        pair = (req.sid, req.scale)
+        if pair in seen:
+            continue
+        seen.add(pair)
+        if store.has_entry(req.sid, req.scale):
             continue
         with _CACHE_LOCK:
-            assets = _ASSETS.get((sid, scale))
+            assets = _ASSETS.get(pair)
         if assets is not None:
-            store.save_entry(sid, scale, assets.A, assets.b, assets.blocked,
+            store.save_entry(req.sid, req.scale, assets.A, assets.b,
+                             assets.blocked,
                              extras=_store_extras(assets.spec,
                                                   assets.refloat_op))
         else:
-            missing.append(sid)
-    return [pool.submit(_ensure_store_task, sid, scale) for sid in missing]
+            plan.append(pair)
+    return tuple(plan)
 
 
 def _check_sids(sids: Optional[Iterable[int]]) -> Tuple[int, ...]:
@@ -849,158 +883,202 @@ def _reraise(failures: List[RunFailure]) -> None:
         f"request failed: {failures[0].to_dict()}")
 
 
-def _prewarm_store(requests: List[RunRequest],
-                   pool: ProcessPoolExecutor) -> list:
-    """Queue the asset-store pre-materialisation tasks for a process fan-out."""
-    seen, prewarm_keys = set(), []
-    for req in requests:
-        if (req.sid, req.scale) not in seen:
-            seen.add((req.sid, req.scale))
-            prewarm_keys.append((req.sid, req.scale))
-    prewarm = []
-    for scale in {scale for _, scale in prewarm_keys}:
-        prewarm += _ensure_store_entries(
-            [sid for sid, s in prewarm_keys if s == scale], scale, pool)
-    return prewarm
+def _run_node(node: Any, attempt: int = 1) -> Optional[MatrixRun]:
+    """Execute one graph node in this process (serial path, thread worker).
+
+    Solve nodes run :func:`run_request` (looked up as a module global at
+    call time, so tests can monkeypatch it); asset nodes materialise their
+    store entry and produce no run.
+    """
+    if node.kind == "asset":
+        _ensure_store_task(node.sid, node.scale)
+        return None
+    return run_request(node.request, attempt=attempt)
 
 
-def _execute_serial(requests: List[RunRequest], on_error: str,
-                    on_result: Optional[Callable[[int, MatrixRun], None]],
+def _skip_dependents(sched: GraphScheduler, graph: TaskGraph, key: str,
+                     phase: str, failures: List[RunFailure],
+                     stats: ExecutionStats) -> None:
+    """Transitively skip everything depending on a failed node.
+
+    Each skipped node gets one structured ``"dependency"``-phase
+    :class:`RunFailure` (``attempts=0`` — it never ran) naming the failed
+    dependency and its phase, and bumps ``stats.skipped``; a dead baseline
+    or asset node therefore degrades its dependents loudly instead of
+    wedging the batch.
+    """
+    for skipped in sched.fail(key):
+        stats.skipped += 1
+        node = graph.payload(skipped)
+        failures.append(RunFailure.from_dependency(
+            key=skipped, dependency_key=key, dependency_phase=phase,
+            sid=node.sid, solver=node.solver))
+
+
+def _execute_serial(graph: TaskGraph, on_error: str,
+                    on_result: Optional[Callable[[RunRequest, MatrixRun],
+                                                 None]],
                     stats: ExecutionStats,
-                    ) -> Tuple[List[Optional[MatrixRun]], List[RunFailure]]:
-    """The serial engine path: in-process attempt loop per request.
+                    ) -> Tuple[Dict[str, MatrixRun], List[RunFailure]]:
+    """The serial engine path: scheduler-ordered in-process attempt loops.
 
-    ``request_timeout`` is *not* enforced here — a same-thread solve cannot
-    be interrupted from outside — which the config documents; retries and
-    backoff behave exactly as in the pooled paths.
+    Nodes run one at a time in the scheduler's deterministic topological
+    order, so dependencies are always complete before their dependents
+    start.  ``request_timeout`` is *not* enforced here — a same-thread
+    solve cannot be interrupted from outside — which the config documents;
+    retries and backoff behave exactly as in the pooled paths.
     """
     cfg = api_config.active()
-    results: List[Optional[MatrixRun]] = [None] * len(requests)
+    sched = GraphScheduler(graph)
+    results: Dict[str, MatrixRun] = {}
     failures: List[RunFailure] = []
-    for i, req in enumerate(requests):
-        attempt = 1
-        while True:
-            try:
-                run = run_request(req, attempt=attempt)
-            except Exception as exc:
-                if attempt <= cfg.request_retries:
-                    stats.retries += 1
-                    _backoff_sleep(cfg.retry_backoff, attempt)
-                    attempt += 1
-                    continue
-                if on_error == "raise":
-                    raise
-                failures.append(RunFailure.from_exception(
-                    exc, key=req.key(), phase="solve", attempts=attempt,
-                    sid=req.sid, solver=req.solver))
+    try:
+        while sched.has_ready:
+            key = sched.pop_ready()
+            node = graph.payload(key)
+            attempt = 1
+            while True:
+                sched.start(key)
+                try:
+                    run = _run_node(node, attempt)
+                except Exception as exc:
+                    if attempt <= cfg.request_retries:
+                        stats.retries += 1
+                        _backoff_sleep(cfg.retry_backoff, attempt)
+                        attempt += 1
+                        continue
+                    if on_error == "raise":
+                        raise
+                    phase = "asset" if node.kind == "asset" else "solve"
+                    failures.append(RunFailure.from_exception(
+                        exc, key=key, phase=phase, attempts=attempt,
+                        sid=node.sid, solver=node.solver))
+                    _skip_dependents(sched, graph, key, phase, failures,
+                                     stats)
+                    break
+                sched.complete(key)
+                if node.kind != "asset":
+                    results[key] = run
+                    if on_result is not None:
+                        on_result(node.request, run)
                 break
-            results[i] = run
-            if on_result is not None:
-                on_result(i, run)
-            break
+    finally:
+        stats.trace = sched.trace_dict()
     return results, failures
 
 
-def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
+def _execute_pooled(graph: TaskGraph, workers: int, executor: str,
                     on_error: str,
-                    on_result: Optional[Callable[[int, MatrixRun], None]],
+                    on_result: Optional[Callable[[RunRequest, MatrixRun],
+                                                 None]],
                     stats: ExecutionStats,
-                    ) -> Tuple[List[Optional[MatrixRun]], List[RunFailure]]:
-    """The pooled engine path: one submit/collect loop for both executors.
+                    ) -> Tuple[Dict[str, MatrixRun], List[RunFailure]]:
+    """The pooled engine path: one scheduler-driven submit/collect loop.
 
-    State per request index: ``attempts`` (executions started — the fault
-    plan and the retry budget both count these), ``breaks`` (process-pool
-    breaks the request was in flight for).  Failure semantics:
+    The :class:`GraphScheduler` owns readiness — a node dispatches the
+    moment its dependencies complete and a slot is free, with **no phase
+    barriers**: variant solves overlap still-running baselines, asset
+    pre-warm overlaps independent solves.  State per node key:
+    ``attempts`` (executions started — the fault plan and the retry budget
+    both count these), ``breaks`` (process-pool breaks the node was in
+    flight for).  Failure semantics:
 
-    * an in-request exception consumes one retry (re-queued with backoff)
-      until the budget runs out, then records a ``"solve"`` failure;
+    * an in-node exception consumes one retry (requeued with backoff)
+      until the budget runs out, then records a ``"solve"`` (solve nodes)
+      or ``"asset"`` (pre-warm nodes) failure and transitively skips the
+      node's dependents with ``"dependency"`` failures;
     * a :class:`BrokenExecutor` means a worker died.  The pool is replaced,
-      completed results are kept, and every in-flight request is re-queued
+      completed results are kept, and every in-flight node is requeued
       *without* charging its retry budget.  A broken pool fails every
       in-flight future indiscriminately, so the culprit cannot be read off
-      the break itself: a request that has now been in flight for *two*
+      the break itself: a node that has now been in flight for *two*
       breaks is instead re-run in **isolation** (alone in the fresh pool),
-      and a request that breaks the pool while running alone is convicted
-      and poison-pilled (a ``"pool"`` failure) — one deterministic crasher
-      cannot wedge the batch in a rebuild loop, and innocents caught in
-      the crossfire always complete;
-    * a request outliving ``request_timeout`` charges one retry (or records
+      and a node that breaks the pool while running alone is convicted
+      and poison-pilled (a ``"pool"`` failure, dependents skipped) — one
+      deterministic crasher cannot wedge the batch in a rebuild loop, and
+      innocents caught in the crossfire always complete;
+    * a node outliving ``request_timeout`` charges one retry (or records
       a ``"timeout"`` failure); on the process pool its worker is killed
-      and the pool rebuilt (innocent in-flight requests re-queue without a
+      and the pool rebuilt (innocent in-flight nodes requeue without a
       charge), on the thread pool the hung thread cannot be reclaimed
       (best effort: its result is abandoned, the slot stays occupied until
       it returns).
 
     Submission caps in-flight work at the worker count when a timeout is
-    active (a queued-behind-a-hog request must not have its clock started);
-    without one, everything is submitted up front exactly as before.
+    active (a queued-behind-a-hog node must not have its clock started);
+    without one, every ready node is submitted as it unlocks.
     """
     cfg = api_config.active()
     timeout, retries = cfg.request_timeout, cfg.request_retries
-    n = len(requests)
-    results: List[Optional[MatrixRun]] = [None] * n
+    sched = GraphScheduler(graph)
+    results: Dict[str, MatrixRun] = {}
     failures: List[RunFailure] = []
-    attempts = [0] * n
-    breaks = [0] * n
-    queue = deque(range(n))
+    attempts: Dict[str, int] = dict.fromkeys(graph.keys(), 0)
+    breaks: Dict[str, int] = dict.fromkeys(graph.keys(), 0)
     probe: deque = deque()  # twice-suspected: re-run in isolation
-    solo: Optional[int] = None  # the index currently running alone
-    inflight: Dict[Future, int] = {}
+    solo: Optional[str] = None  # the node currently running alone
+    inflight: Dict[Future, str] = {}
     deadlines: Dict[Future, float] = {}
-    window = workers if timeout is not None else n
+    window = workers if timeout is not None else len(graph)
     abandoned = 0  # hung thread-pool futures we stopped waiting on
     process = executor == "process"
     pool = _process_pool(workers) if process else ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="suite")
-    prewarm = _prewarm_store(requests, pool) if process else []
 
-    def fail(i: int, exc: BaseException, phase: str) -> None:
+    def fail(key: str, exc: BaseException, phase: str) -> None:
+        node = graph.payload(key)
         failures.append(RunFailure.from_exception(
-            exc, key=requests[i].key(), phase=phase, attempts=attempts[i],
-            sid=requests[i].sid, solver=requests[i].solver))
+            exc, key=key, phase=phase, attempts=attempts[key],
+            sid=node.sid, solver=node.solver))
+        _skip_dependents(sched, graph, key, phase, failures, stats)
 
-    def suspect(i: int) -> None:
+    def suspect(key: str) -> None:
         """Route one break victim: isolation after two breaks, else retry
-        in the crowd (front of the queue, order preserved by the caller)."""
-        breaks[i] += 1
-        if breaks[i] >= 2:
-            probe.appendleft(i)
+        in the crowd (front of the ready queue, order preserved by the
+        caller)."""
+        breaks[key] += 1
+        if breaks[key] >= 2:
+            probe.appendleft(key)
         else:
-            queue.appendleft(i)
+            sched.requeue(key, front=True)
 
     def rebuild(kill: bool = False) -> None:
-        """Replace the pool; every in-flight request becomes a suspect."""
+        """Replace the pool; every in-flight node becomes a suspect."""
         nonlocal pool, solo
         stats.pool_rebuilds += 1
-        for fut, i in reversed(list(inflight.items())):
-            suspect(i)
+        for fut, key in reversed(list(inflight.items())):
+            suspect(key)
         inflight.clear()
         deadlines.clear()
         solo = None
         _discard_process_pool(kill=kill)
         pool = _process_pool(workers)
 
-    def submit(i: int) -> bool:
+    def submit(key: str) -> bool:
         """Start one execution; False when the pool broke on submit."""
-        attempts[i] += 1
+        node = graph.payload(key)
+        attempts[key] += 1
         try:
-            if process:
-                fut = pool.submit(_suite_task, requests[i], attempts[i],
+            if node.kind == "asset":
+                fut = pool.submit(_ensure_store_task, node.sid, node.scale)
+            elif process:
+                fut = pool.submit(_suite_task, node.request, attempts[key],
                                   faults.plan_tokens())
             else:
-                fut = pool.submit(run_request, requests[i], attempts[i])
+                fut = pool.submit(_run_node, node, attempts[key])
         except BrokenExecutor:
             if not process:  # thread pools have no rebuild path
                 raise
-            attempts[i] -= 1
+            attempts[key] -= 1
             return False
-        inflight[fut] = i
+        sched.start(key)
+        inflight[fut] = key
         if timeout is not None:
             deadlines[fut] = time.monotonic() + timeout
         return True
 
     try:
-        while queue or probe or inflight:
+        while True:
             if probe and not inflight:
                 # Isolation: one suspect alone in a fresh-or-idle pool, so
                 # a break unambiguously convicts it.
@@ -1010,13 +1088,18 @@ def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
                     _discard_process_pool()
                     pool = _process_pool(workers)
             elif solo is None and not probe:
-                while queue and len(inflight) < window:
-                    i = queue.popleft()
-                    if not submit(i):
-                        queue.appendleft(i)
+                while sched.has_ready and len(inflight) < window:
+                    key = sched.pop_ready()
+                    if not submit(key):
+                        sched.requeue(key, front=True)
                         rebuild()
             if not inflight:
-                continue
+                if probe or sched.has_ready:
+                    continue
+                # Nothing running, ready or probed: every remaining node
+                # is terminal (failure propagation is immediate), so a
+                # blocked node cannot be stranded here.
+                break
             if timeout is not None:
                 wait_for = max(0.0, min(deadlines.values())
                                - time.monotonic()) + 0.01
@@ -1026,36 +1109,40 @@ def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
                            return_when=FIRST_COMPLETED)
             broken = False
             for fut in done:
-                i = inflight.pop(fut)
+                key = inflight.pop(fut)
                 deadlines.pop(fut, None)
+                node = graph.payload(key)
                 try:
                     run = fut.result()
                 except BrokenExecutor:
                     broken = True
-                    if solo == i:
-                        breaks[i] += 1
+                    if solo == key:
+                        breaks[key] += 1
                         stats.poisoned += 1
-                        fail(i, BrokenExecutor(
-                            f"request broke the process pool {breaks[i]} "
+                        fail(key, BrokenExecutor(
+                            f"request broke the process pool {breaks[key]} "
                             f"times (the last time running alone)"), "pool")
                         solo = None
                     else:
-                        suspect(i)
+                        suspect(key)
                 except Exception as exc:
-                    if solo == i:
+                    if solo == key:
                         solo = None
-                    if attempts[i] <= retries:
+                    if attempts[key] <= retries:
                         stats.retries += 1
-                        _backoff_sleep(cfg.retry_backoff, attempts[i])
-                        queue.append(i)
+                        _backoff_sleep(cfg.retry_backoff, attempts[key])
+                        sched.requeue(key)
                     else:
-                        fail(i, exc, "solve")
+                        fail(key, exc,
+                             "asset" if node.kind == "asset" else "solve")
                 else:
-                    if solo == i:
+                    if solo == key:
                         solo = None
-                    results[i] = run
-                    if on_result is not None:
-                        on_result(i, run)
+                    sched.complete(key)
+                    if node.kind != "asset":
+                        results[key] = run
+                        if on_result is not None:
+                            on_result(node.request, run)
             if broken and process:
                 rebuild()
             if timeout is not None and not broken:
@@ -1063,33 +1150,33 @@ def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
                 expired = [fut for fut, dl in deadlines.items() if dl <= now]
                 if expired:
                     for fut in expired:
-                        i = inflight.pop(fut)
+                        key = inflight.pop(fut)
                         deadlines.pop(fut)
                         stats.timeouts += 1
-                        was_solo, solo = solo == i, (None if solo == i
-                                                     else solo)
+                        was_solo, solo = solo == key, (None if solo == key
+                                                       else solo)
                         if not process:
                             fut.cancel()
                             abandoned += 1
-                        if attempts[i] <= retries:
+                        if attempts[key] <= retries:
                             stats.retries += 1
                             if was_solo:
-                                probe.appendleft(i)  # still suspect: isolate
+                                probe.appendleft(key)  # still suspect
                             else:
-                                queue.append(i)
+                                sched.requeue(key)
                         else:
-                            fail(i, TimeoutError(
+                            fail(key, TimeoutError(
                                 f"request exceeded request_timeout="
                                 f"{timeout}s"), "timeout")
                     if process:
                         # The hung workers cannot be cancelled
-                        # cooperatively: kill the pool and re-queue the
-                        # innocent in-flight requests uncharged (their
+                        # cooperatively: kill the pool and requeue the
+                        # innocent in-flight nodes uncharged (their
                         # execution never reached a verdict).
                         stats.pool_rebuilds += 1
-                        for fut, i in reversed(list(inflight.items())):
-                            attempts[i] -= 1
-                            queue.appendleft(i)
+                        for fut, key in reversed(list(inflight.items())):
+                            attempts[key] -= 1
+                            sched.requeue(key, front=True)
                         inflight.clear()
                         deadlines.clear()
                         _discard_process_pool(kill=True)
@@ -1097,17 +1184,10 @@ def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
             if failures and on_error == "raise":
                 break
     finally:
+        stats.trace = sched.trace_dict()
         for fut in inflight:
             fut.cancel()
-        if process:
-            for fut in prewarm:
-                # A failed pre-build already surfaced through its solve
-                # task (which rebuilds in-worker); reap without raising.
-                if fut.done():
-                    fut.exception()
-                else:
-                    fut.cancel()
-        else:
+        if not process:
             # A hung thread cannot be joined without hanging ourselves:
             # skip the drain when any future was abandoned on timeout.
             pool.shutdown(wait=(abandoned == 0), cancel_futures=True)
@@ -1118,35 +1198,51 @@ def _execute_pooled(requests: List[RunRequest], workers: int, executor: str,
 
 def _execute_requests(requests: List[RunRequest], workers: int,
                       executor: str, on_error: str = "raise",
-                      on_result: Optional[Callable[[int, MatrixRun],
+                      on_result: Optional[Callable[[RunRequest, MatrixRun],
                                                    None]] = None,
-                      ) -> Tuple[List[Optional[MatrixRun]],
+                      edges: Iterable[Tuple[str, str]] = (),
+                      ) -> Tuple[Dict[str, MatrixRun],
                                  List[RunFailure], ExecutionStats]:
-    """Fan a batch of :class:`RunRequest`\\ s out; results align by index.
+    """Compile a batch of :class:`RunRequest`\\ s into a task graph and run it.
 
     The shared execution engine behind :func:`run_suite` and
-    :func:`run_sweep`: serial below two workers, the persistent process
-    pool (with asset-store pre-materialisation, so workers mmap-attach
-    instead of rebuilding) for ``"process"``, a thread pool otherwise.
-    Fault-free results are identical to serial execution on every path.
+    :func:`run_sweep`.  The batch — plus ``edges``, "needs baseline"
+    ``(dependent_key, dependency_key)`` request-key pairs — compiles into
+    a :class:`~repro.api.graph.TaskGraph`; on the process executor with a
+    store configured, missing store entries join the graph as asset nodes
+    gating exactly the solves that need them.  The scheduler then
+    dispatches ready nodes with no phase barriers: serial below two
+    workers, the persistent process pool (workers mmap-attach pre-warmed
+    entries instead of rebuilding) for ``"process"``, a thread pool
+    otherwise.  Fault-free results are identical to serial execution on
+    every path.
 
     Fault tolerance — retries with deterministic backoff, per-request
     timeouts, broken-pool recovery — resolves through the active
     :class:`RunConfig` (``request_timeout``/``request_retries``/
-    ``retry_backoff``).  Returns ``(results, failures, stats)``: results
-    hold ``None`` at failed indices, ``failures`` the matching
-    :class:`RunFailure` records (``on_error="raise"`` re-raises the first
-    failure instead), and ``stats`` the :class:`ExecutionStats` counters.
-    ``on_result(index, run)`` fires in the parent as each request
-    completes — the sweep journal's append hook.
+    ``retry_backoff``) and applies per node.  Returns
+    ``(results, failures, stats)``: ``results`` maps each completed
+    request's :meth:`~repro.api.specs.RunRequest.key` to its run (failed
+    and skipped keys are absent), ``failures`` the structured
+    :class:`RunFailure` records — including one ``"dependency"``-phase
+    record per node skipped because something it needed failed —
+    (``on_error="raise"`` re-raises the first failure instead), and
+    ``stats`` the :class:`ExecutionStats` counters with the scheduler's
+    per-node timing trace.  ``on_result(request, run)`` fires in the
+    parent as each solve completes — the sweep journal's append hook.
     """
     _check_on_error(on_error)
-    stats = ExecutionStats(requests=len(requests))
-    if workers <= 1 or len(requests) <= 1:
-        results, failures = _execute_serial(requests, on_error, on_result,
+    serial = workers <= 1 or len(requests) <= 1
+    prewarm = (_prewarm_plan(requests)
+               if not serial and executor == "process" else ())
+    graph = compile_solve_graph(requests, edges=edges, assets=prewarm)
+    stats = ExecutionStats(requests=len(requests), nodes=len(graph),
+                           edges=graph.n_edges)
+    if serial:
+        results, failures = _execute_serial(graph, on_error, on_result,
                                             stats)
     else:
-        results, failures = _execute_pooled(requests, workers, executor,
+        results, failures = _execute_pooled(graph, workers, executor,
                                             on_error, on_result, stats)
     return results, failures, stats
 
@@ -1226,8 +1322,8 @@ def run_suite(solver: str, scale: Optional[str] = None,
     workers = max_workers if max_workers is not None else _suite_workers(len(ids))
     results, failures, stats = _execute_requests(requests, workers, executor,
                                                  on_error=on_error)
-    runs = SuiteResult((sid, run) for sid, run in zip(ids, results)
-                       if run is not None)
+    runs = SuiteResult((req.sid, results[req.key()]) for req in requests
+                       if req.key() in results)
     runs.failures = tuple(failures)
     runs.stats = stats
     if not failures:
@@ -1419,27 +1515,42 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
         if resume:
             journaled = jr.load(spec, scale, crit)
     to_run = [req for req in requests if req.key() not in journaled]
+    # "Needs baseline" edges: each variant cell depends on its
+    # (solver, sid) baseline request, so the scheduler grafts by
+    # dependency instead of a solve-all-baselines-first phase barrier.
+    # Cells already journaled satisfy their dependents by replay, so only
+    # edges with both endpoints still to run are compiled.
+    edges: List[Tuple[str, str]] = []
+    if baseline:
+        to_run_keys = {req.key() for req in to_run}
+        for solver in spec.solvers:
+            for sid in ids:
+                bkey = request(solver, baseline, sid).key()
+                if bkey not in to_run_keys:
+                    continue
+                for token, _ in variants:
+                    vkey = request(solver, (token,), sid).key()
+                    if vkey in to_run_keys and vkey != bkey:
+                        edges.append((vkey, bkey))
     workers = (max_workers if max_workers is not None
                else _suite_workers(len(to_run) or 1))
     if jr is not None:
         jr.open(spec, scale, crit, resume=resume)
 
-        def on_result(i: int, run: MatrixRun) -> None:
-            jr.record(to_run[i].key(), run)
+        def on_result(req: RunRequest, run: MatrixRun) -> None:
+            jr.record(req.key(), run)
     else:
         on_result = None
     try:
         results, failures, stats = _execute_requests(
             to_run, workers, executor, on_error=on_error,
-            on_result=on_result)
+            on_result=on_result, edges=edges)
     finally:
         if jr is not None:
             jr.close()
     stats.journal_skipped = len(requests) - len(to_run)
     by_key: Dict[str, MatrixRun] = dict(journaled)
-    for req, run in zip(to_run, results):
-        if run is not None:
-            by_key[req.key()] = run
+    by_key.update(results)
     runs: Dict[Tuple[str, str], Dict[int, MatrixRun]] = {}
     for solver in spec.solvers:
         for token, _ in variants:

@@ -135,6 +135,17 @@ class TestRunFailure:
         with pytest.raises(ValueError, match="phase must be one of"):
             RunFailure(key="k", phase="lunch", error_type="E", message="m")
 
+    def test_phase_vocabulary_pinned(self):
+        # The scheduler's failure phases are a public vocabulary (CI and
+        # downstream reports match on them); growing it is fine, renames
+        # and removals are not.
+        from repro.api.faults import FAILURE_PHASES
+
+        assert FAILURE_PHASES == ("solve", "timeout", "pool", "asset",
+                                  "dependency")
+        for phase in FAILURE_PHASES:
+            RunFailure(key="k", phase=phase, error_type="E", message="m")
+
 
 class TestSerialEngine:
     def test_collect_returns_partial_results(self, fresh_caches, no_plan):
