@@ -7,11 +7,14 @@ interpreter — must attach to the store with **zero** matrix builds::
 
     export REPRO_ASSET_STORE=$(mktemp -d)
     PYTHONPATH=src python benchmarks/store_smoke.py
-    PYTHONPATH=src python benchmarks/store_smoke.py --expect-zero-builds
+    PYTHONPATH=src python benchmarks/store_smoke.py \
+        --expect-zero-builds --expect-bsr-layout
 
 Exits nonzero when ``--expect-zero-builds`` is violated (a build happened,
-or nothing was actually served from the store), or when the environment is
-missing ``REPRO_ASSET_STORE`` entirely.
+or nothing was actually served from the store), when ``--expect-bsr-layout``
+finds a current-version entry without the contiguous block tensor (the
+store is still serving a pre-v2 layout), or when the environment is missing
+``REPRO_ASSET_STORE`` entirely.
 """
 
 import argparse
@@ -28,6 +31,9 @@ def main() -> int:
                         help="solver to sweep (default: cg)")
     parser.add_argument("--expect-zero-builds", action="store_true",
                         help="fail unless every asset came from the store")
+    parser.add_argument("--expect-bsr-layout", action="store_true",
+                        help="fail unless every current-version entry "
+                             "persists the contiguous BSR block tensor")
     args = parser.parse_args()
 
     if not os.environ.get("REPRO_ASSET_STORE"):
@@ -56,6 +62,22 @@ def main() -> int:
         if counts["hits"] != len(runs):
             print(f"store_smoke: expected {len(runs)} store hits, "
                   f"got {counts['hits']}", file=sys.stderr)
+            return 1
+
+    if args.expect_bsr_layout:
+        vroot = store.store_root() / f"v{store.STORE_VERSION}"
+        entries = sorted(p for p in vroot.iterdir() if p.is_dir())
+        if len(entries) < len(runs):
+            print(f"store_smoke: only {len(entries)} entries under "
+                  f"{vroot.name}/ for {len(runs)} matrices", file=sys.stderr)
+            return 1
+        missing = [e.name for e in entries
+                   if not all((e / f"{name}.npy").is_file()
+                              for name in ("bsr_data", "bsr_indptr",
+                                           "bsr_indices", "bsr_scatter"))]
+        if missing:
+            print(f"store_smoke: entries without the contiguous BSR layout: "
+                  f"{missing}", file=sys.stderr)
             return 1
     return 0
 

@@ -13,7 +13,7 @@ the same registry.
 from __future__ import annotations
 
 from repro.api.registry import register_solver
-from repro.solvers import bicgstab, block_cg, cg, solve_many
+from repro.solvers import bicgstab, block_bicgstab, block_cg, cg, solve_many
 
 __all__ = ["DEFAULT_SOLVERS"]
 
@@ -35,6 +35,12 @@ register_solver(
     gpu_vector_kernels_per_iteration=5, multi_rhs=True,
     description="O'Leary block CG: k RHS per iteration, one matmat/iter")(
         block_cg)
+
+register_solver(
+    "block_bicgstab", spmvs_per_iteration=2, vector_ops_per_iteration=12,
+    gpu_vector_kernels_per_iteration=10, multi_rhs=True,
+    description="batched BiCGSTAB: k RHS per iteration, two matmats/iter")(
+        block_bicgstab)
 
 register_solver(
     "solve_many", spmvs_per_iteration=1, vector_ops_per_iteration=6,

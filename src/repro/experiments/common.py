@@ -415,12 +415,15 @@ def _spec_token(spec: ReFloatSpec) -> str:
 
 def _store_extras(spec: ReFloatSpec, refloat_op: ReFloatOperator,
                   ) -> Dict[str, np.ndarray]:
-    """Extra arrays saved with a store entry: the pre-quantised matrix data.
+    """Extra arrays saved with a store entry: the pre-quantised matrix,
+    stored in the same contiguous BSR tensor layout as the canonical entry
+    (``ReFloatOperator`` gathers it back to CSR order bit-identically).
 
     Keyed by the full spec identity, so a loader with a different default
     spec simply misses the extra and re-quantises — never reuses stale data.
     """
-    return {f"refloat_qdata_{_spec_token(spec)}": refloat_op.A.data}
+    qbsr = refloat_op.blocked.bsr.scatter_values(refloat_op.A.data)
+    return {f"refloat_qbsr_{_spec_token(spec)}": qbsr}
 
 
 def _load_or_build_assets(sid: int, scale: str) -> MatrixAssets:
@@ -434,12 +437,12 @@ def _load_or_build_assets(sid: int, scale: str) -> MatrixAssets:
     unset) for the next cold process.
     """
     spec = default_spec_for(sid)
-    qdata_key = f"refloat_qdata_{_spec_token(spec)}"
-    entry = store.load_entry(sid, scale, extras=(qdata_key,))
+    qbsr_key = f"refloat_qbsr_{_spec_token(spec)}"
+    entry = store.load_entry(sid, scale, extras=(qbsr_key,))
     if entry is not None:
         A, b, blocked = entry.A, entry.b, entry.blocked
         refloat_op = ReFloatOperator(None, spec, blocked=blocked,
-                                     quantized=entry.extras.get(qdata_key))
+                                     quantized=entry.extras.get(qbsr_key))
     else:
         store.note_build(sid, scale)
         A = PAPER_SUITE[sid].matrix(scale)

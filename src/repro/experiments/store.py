@@ -6,25 +6,36 @@ the solve kernels are fast, and it used to be repeated by every cold
 process: CI jobs, process-pool workers, back-to-back sweeps.  This module
 materialises the solver-independent part of a ``(sid, scale)`` asset —
 the CSR matrix, the paper right-hand side ``A @ 1`` and the partition's
-derived arrays — to a versioned, checksummed on-disk layout that a cold
-process attaches to via ``np.load(..., mmap_mode="r")`` instead of
+contiguous BSR layout — to a versioned, checksummed on-disk format that a
+cold process attaches to via ``np.load(..., mmap_mode="r")`` instead of
 regenerating.
 
 Layout
 ------
+Since v2 the canonical entry *is* the :class:`repro.sparse.bsr.BSRBlocks`
+layout — the accelerator's native operand shape — so a worker memory-maps
+one ``(n_blocks, 2^b, 2^b)`` tensor with zero reassembly.  The canonical
+CSR value array is *not* stored twice: it gathers bit-identically from the
+tensor through the scatter map.  The grouping arrays v1 persisted
+(``order``, ``group_starts``, ...) derive lazily on attach and are gone
+from disk.  Old ``v1/`` roots read as misses and age out via GC.
+
 ::
 
     $REPRO_ASSET_STORE/
-      v1/                                # bump STORE_VERSION to invalidate
+      v2/                                # bump STORE_VERSION to invalidate
         <sid>-<scale>/                   # one atomically-published entry
           meta.json                      # version, shapes, dtypes, crc32s
           A_data.npy A_indices.npy A_indptr.npy     # matrix as generated
-          C_data.npy C_indices.npy C_indptr.npy     # canonical partition
-                                                    #   matrix (only when it
-                                                    #   differs from A)
+          C_indices.npy C_indptr.npy                # canonical CSR pattern
+                                                    #   (only when A is not
+                                                    #   already canonical;
+                                                    #   values gather from
+                                                    #   the BSR tensor)
           b.npy                                     # RHS = A @ ones
-          order.npy group_starts.npy block_keys.npy # BlockedMatrix arrays
-          block_nnz.npy nnz_key.npy
+          bsr_data.npy                              # (n_blocks, 2^b, 2^b)
+          bsr_indptr.npy bsr_indices.npy            # block BSR indexing
+          bsr_scatter.npy                           # dense<->CSR map
 
 Every array file's CRC32 is recorded in ``meta.json``; a load verifies
 version, dtypes, shapes and checksums, and *any* mismatch — truncation,
@@ -66,6 +77,7 @@ import scipy.sparse as sp
 
 from repro.api import config
 from repro.sparse.blocked import BlockedMatrix
+from repro.sparse.bsr import BSRBlocks
 from repro.sparse.mmio import csr_from_arrays, csr_to_arrays
 
 __all__ = [
@@ -87,17 +99,17 @@ __all__ = [
 
 #: On-disk format version; bump when the layout *or* the suite generators
 #: change, so stale entries read as misses instead of wrong data.
-STORE_VERSION = 1
+#: v2: contiguous BSR layout replaces the v1 block-grouping arrays.
+STORE_VERSION = 2
 
-_PARTITION_ARRAYS = ("order", "group_starts", "block_keys", "block_nnz",
-                     "nnz_key")
+_BSR_ARRAYS = ("bsr_data", "bsr_indptr", "bsr_indices", "bsr_scatter")
 _ORIGINAL_CSR = ("A_data", "A_indices", "A_indptr")
-_CANONICAL_CSR = ("C_data", "C_indices", "C_indptr")
+_CANONICAL_CSR = ("C_indices", "C_indptr")
 #: Every array name the core layout may use; anything else in an entry is a
 #: caller-owned extra.  The single source of truth for save-side collision
 #: checks and load-side required/extra classification.
 _CORE_ARRAYS = frozenset(_ORIGINAL_CSR) | frozenset(_CANONICAL_CSR) \
-    | {"b"} | frozenset(_PARTITION_ARRAYS)
+    | {"b"} | frozenset(_BSR_ARRAYS)
 
 _COUNTER_LOCK = threading.Lock()
 
@@ -218,11 +230,14 @@ def save_entry(sid: int, scale: str, A, b: np.ndarray,
     """Materialise one asset to the store; no-op when the store is off.
 
     ``A`` is the matrix *as generated* (it backs the exact operator and the
-    RHS, so its nonzero order must round-trip bit-exactly); ``blocked.A`` is
-    its canonicalised copy and is stored separately only when the two differ.
-    ``extras`` are additional caller-owned arrays (e.g. pre-quantised matrix
-    data keyed by format spec) checksummed and round-tripped verbatim; their
-    names must not collide with the core layout.  The entry is written to a
+    RHS, so its nonzero order must round-trip bit-exactly); ``blocked`` is
+    persisted as its contiguous BSR layout — ``blocked.A``'s value array
+    gathers bit-identically from the tensor, so only its CSR *pattern* is
+    stored, and only when it differs from ``A``.  ``extras`` are additional
+    caller-owned arrays (e.g. pre-quantised matrix data keyed by format
+    spec, stored in the same BSR tensor layout) checksummed and
+    round-tripped verbatim; their names must not collide with the core
+    layout.  The entry is written to a
     temporary sibling and published atomically — losing a publish race to a
     concurrent writer is not an error.  Write-side I/O failures (disk full,
     permissions lost) degrade to a no-save: the store is a cache, and the
@@ -242,11 +257,12 @@ def save_entry(sid: int, scale: str, A, b: np.ndarray,
     canonical_shared = _same_csr(A, blocked.A)
     if not canonical_shared:
         c_arrays, _ = csr_to_arrays(blocked.A)
-        arrays.update(zip(_CANONICAL_CSR, (c_arrays["data"],
-                                           c_arrays["indices"],
+        arrays.update(zip(_CANONICAL_CSR, (c_arrays["indices"],
                                            c_arrays["indptr"])))
     arrays["b"] = np.asarray(b, dtype=np.float64)
-    arrays.update(blocked.to_arrays())
+    bsr = blocked.bsr
+    arrays.update(zip(_BSR_ARRAYS, (bsr.data, bsr.indptr, bsr.indices,
+                                    bsr.scatter)))
     for name, arr in (extras or {}).items():
         if name in _CORE_ARRAYS:
             raise ValueError(f"extra array name {name!r} collides with the "
@@ -388,7 +404,7 @@ def load_entry(sid: int, scale: str, mmap: bool = True,
                     or meta["sid"] != int(sid) or meta["scale"] != scale):
                 raise _EntryInvalid("version/key mismatch")
             specs = meta["arrays"]
-            required = {*_ORIGINAL_CSR, "b", *_PARTITION_ARRAYS}
+            required = {*_ORIGINAL_CSR, "b", *_BSR_ARRAYS}
             if not meta["canonical_shared"]:
                 required |= set(_CANONICAL_CSR)
             if not required <= set(specs):
@@ -408,15 +424,23 @@ def load_entry(sid: int, scale: str, mmap: bool = True,
                                 arrays["A_indptr"], shape,
                                 canonical=meta["canonical_shared"],
                                 checked=checked)
+            # BSRBlocks runs its cheap structural validation on attach;
+            # the full scatter-injectivity scan only under store_verify
+            # (matching the checksum policy: trusted stores stay lazy).
+            bsr = BSRBlocks(meta["block_b"], shape, arrays["bsr_data"],
+                            arrays["bsr_indptr"], arrays["bsr_indices"],
+                            arrays["bsr_scatter"])
+            if checked:
+                bsr.check_scatter_unique()
             if meta["canonical_shared"]:
                 C = A
             else:
-                C = csr_from_arrays(arrays["C_data"], arrays["C_indices"],
+                # Canonical values gather bit-identically from the tensor;
+                # only the CSR pattern is persisted.
+                C = csr_from_arrays(bsr.csr_data(), arrays["C_indices"],
                                     arrays["C_indptr"], shape, canonical=True,
                                     checked=checked)
-            blocked = BlockedMatrix.from_arrays(
-                C, meta["block_b"], arrays["order"], arrays["group_starts"],
-                arrays["block_keys"], arrays["block_nnz"], arrays["nnz_key"])
+            blocked = BlockedMatrix.from_bsr(C, bsr)
             if arrays["b"].shape != (shape[0],):
                 raise _EntryInvalid(
                     f"RHS has shape {arrays['b'].shape}, matrix {shape}")

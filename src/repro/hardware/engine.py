@@ -245,9 +245,9 @@ class BlockedEngine:
         width = self.matrix_bits + self.vector_bits + int(size).bit_length()
         if width > 62:
             raise ValueError("operand widths would overflow the exact int64 model")
-        bi, bj = blocked.block_coords()
-        self.block_rows = bi.astype(np.int64)
-        self.block_cols = bj.astype(np.int64)
+        bsr = blocked.bsr
+        self.block_rows = bsr.block_rows.astype(np.int64)
+        self.block_cols = bsr.indices.astype(np.int64)
         lo, hi = offset_bounds(spec.e)
         self._lo = lo
         G = blocked.n_blocks
@@ -255,19 +255,13 @@ class BlockedEngine:
         self.eb = blocked.exponent_bases(spec.e, "cover").astype(np.int64)
         cells = np.zeros((G, size, size), dtype=np.int64)
         if blocked.nnz:
-            A = blocked.A
-            # per_nnz_eb would recompute exponent_bases; expand self.eb
-            # (already the cover bases, block-grouped) back to CSR order.
-            per_eb = np.empty(blocked.nnz, dtype=np.int64)
-            per_eb[blocked.order] = np.repeat(self.eb, blocked.block_nnz)
-            signed, _ = _aligned_cells(A.data, per_eb, spec)
-            rows = np.repeat(np.arange(A.shape[0], dtype=np.int64),
-                             np.diff(A.indptr))
-            cols = A.indices.astype(np.int64)
-            order = blocked.order
-            g_ids = np.repeat(np.arange(G, dtype=np.int64), blocked.block_nnz)
-            cells[g_ids, rows[order] & (size - 1), cols[order] & (size - 1)] = \
-                signed[order]
+            # per_nnz_eb would recompute exponent_bases; gather self.eb
+            # (already the cover bases, block-grouped) per nonzero, then
+            # drop the signed cells straight through the BSR scatter map —
+            # same cell, same value as the old order/repeat indirection.
+            signed, _ = _aligned_cells(blocked.A.data,
+                                       self.eb[bsr.block_of_nnz], spec)
+            cells.reshape(-1)[bsr.scatter] = signed
         self._cells = cells
         self._plan = vector_converter_plan(blocked.shape[0], spec)
 

@@ -9,6 +9,7 @@ from repro.solvers.base import (
     operator_matmat,
 )
 from repro.solvers.bicgstab import bicgstab
+from repro.solvers.block_bicgstab import block_bicgstab
 from repro.solvers.block_cg import BlockSolverResult, block_cg, solve_many
 from repro.solvers.cg import cg
 from repro.solvers.gmres import gmres
@@ -29,6 +30,7 @@ __all__ = [
     "as_operator",
     "operator_matmat",
     "bicgstab",
+    "block_bicgstab",
     "block_cg",
     "cg",
     "gmres",

@@ -1,0 +1,199 @@
+"""Block (multi-RHS) BiCGSTAB: the batched-throughput story for
+nonsymmetric systems.
+
+``block_bicgstab`` runs the van der Vorst recurrence for ``k`` right-hand
+sides in lockstep: the per-column scalars (``rho``, ``alpha``, ``omega``)
+become ``k``-vectors and the two SpMVs per iteration become two batched
+operator applications (``matmat``), so crossbar platforms write the
+bit-sliced operand program twice per iteration *total* instead of twice per
+column (see :class:`repro.hardware.engine.BlockedEngine.multiply_batch`).
+Unlike :func:`repro.solvers.block_cg.block_cg` there is no coupling across
+columns — each column follows exactly the single-vector recurrence, so
+per-column breakdowns (rho/omega collapse) freeze only the offending
+column while the rest keep iterating, and results are tolerance-pinned
+against per-column :func:`repro.solvers.bicgstab.bicgstab` (same algorithm,
+batched BLAS accumulation — not bit-identical, but converging to the same
+tolerance; asserted by the block-solve tests).
+
+Columns are masked, never resized: converged/broken columns are zeroed in
+the direction blocks before each apply (quantised platforms must not see
+stale or non-finite values) and their entries of ``X`` stop updating, while
+the batch width stays ``k`` so the operator's cached conversion plan is
+reused unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.solvers.base import (
+    ConvergenceCriterion,
+    as_operator,
+    check_block_system,
+    check_initial_guess,
+    operator_matmat,
+    quiet_fp_errors,
+)
+from repro.solvers.block_cg import BlockSolverResult, _column_norms, solve_many
+
+__all__ = ["block_bicgstab"]
+
+
+@quiet_fp_errors
+def block_bicgstab(
+    A,
+    B,
+    X0: Optional[np.ndarray] = None,
+    criterion: Optional[ConvergenceCriterion] = None,
+    callback: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
+    fallback: bool = False,
+) -> BlockSolverResult:
+    """Solve ``A X = B`` (``A`` possibly nonsymmetric) by batched BiCGSTAB.
+
+    Parameters mirror :func:`repro.solvers.block_cg.block_cg`; the
+    differences:
+
+    * two batched applies per iteration (``matmats`` grows by 2, matching
+      the paper's "two SpMV per iteration" BiCGSTAB accounting);
+    * columns are independent — a numerical breakdown (``rho``/``omega``
+      collapse, divergence) freezes that column at its last iterate and the
+      others continue; ``breakdown`` then names each reason with the
+      affected columns;
+    * ``fallback=True`` repairs still-unconverged columns with per-column
+      single-vector BiCGSTAB via :func:`solve_many`.
+
+    Returns
+    -------
+    BlockSolverResult
+    """
+    op = as_operator(A)
+    B = check_block_system(op, B)
+    crit = criterion or ConvergenceCriterion()
+    n, k = B.shape
+    X0 = check_initial_guess(X0, (n, k), name="X0")
+    X = np.zeros((n, k)) if X0 is None else X0
+
+    matmats = 0
+    if X0 is None or not np.any(X):
+        R = B.copy()
+    else:
+        R = B - operator_matmat(op, X)
+        matmats += 1
+    b_norms = _column_norms(B)
+    if not np.any(b_norms):
+        zeros = np.zeros(k)
+        return BlockSolverResult(X=np.zeros((n, k)), converged=True,
+                                 iterations=0, residual_norms=zeros,
+                                 converged_mask=np.ones(k, dtype=bool),
+                                 residual_history=[zeros], matmats=matmats)
+    # A zero column is solved exactly by x_j = 0, whatever its residual says.
+    thresholds = np.where(b_norms > 0, crit.threshold(b_norms), np.inf)
+    r_norms = _column_norms(R)
+    # r_norms is updated in place as columns freeze — snapshot every entry.
+    history = [r_norms.copy()]
+    converged_mask = r_norms < thresholds
+    if bool(converged_mask.all()):
+        return BlockSolverResult(X=X, converged=True, iterations=0,
+                                 residual_norms=r_norms,
+                                 converged_mask=converged_mask,
+                                 residual_history=history, matmats=matmats)
+
+    R_hat = R.copy()  # per-column shadow residuals
+    rho_prev = np.ones(k)
+    alpha = np.ones(k)
+    omega = np.ones(k)
+    V = np.zeros((n, k))
+    P = np.zeros((n, k))
+    active = ~converged_mask
+    init_norms = r_norms.copy()
+    reasons: Dict[str, List[int]] = {}
+
+    def _freeze(mask: np.ndarray, why: str) -> None:
+        cols = np.flatnonzero(mask)
+        if cols.size:
+            reasons.setdefault(why, []).extend(int(c) for c in cols)
+            active[cols] = False
+
+    iterations = crit.max_iterations
+    for it in range(1, crit.max_iterations + 1):
+        # Frozen columns carry stale/non-finite values through the
+        # full-width recurrences below; they are masked out of every
+        # operator input and never written back, so only active columns'
+        # arithmetic matters (matching the scalar solver's exactly).
+        rho = np.einsum("ij,ij->j", R_hat, R)
+        _freeze(active & (~np.isfinite(rho) | (rho == 0.0)), "rho breakdown")
+        beta = (rho / rho_prev) * (alpha / omega)
+        P = R + beta * (P - omega * V)
+        _freeze(active & ~np.isfinite(P).all(axis=0), "non-finite direction")
+        if not active.any():
+            iterations = it - 1
+            break
+        Q = operator_matmat(op, np.where(active, P, 0.0))
+        matmats += 1
+        act = np.flatnonzero(active)
+        V[:, act] = Q[:, act]
+        denom = np.einsum("ij,ij->j", R_hat, V)
+        _freeze(active & (~np.isfinite(denom) | (denom == 0.0)),
+                "r_hat'v breakdown")
+        alpha = rho / denom
+        S = R - alpha * V
+        s_norms = _column_norms(S)
+        half = active & (s_norms < thresholds)
+        hcols = np.flatnonzero(half)
+        if hcols.size:
+            # Early half-step convergence: x += alpha p, done.
+            X[:, hcols] += alpha[hcols] * P[:, hcols]
+            r_norms[hcols] = s_norms[hcols]
+            converged_mask[hcols] = True
+            active[hcols] = False
+        if active.any():
+            T = operator_matmat(op, np.where(active, S, 0.0))
+            matmats += 1
+            tt = np.einsum("ij,ij->j", T, T)
+            _freeze(active & (~np.isfinite(tt) | (tt == 0.0)),
+                    "t't breakdown")
+            omega_new = np.einsum("ij,ij->j", T, S) / tt
+            _freeze(active & (~np.isfinite(omega_new) | (omega_new == 0.0)),
+                    "omega breakdown")
+            act = np.flatnonzero(active)
+            omega[act] = omega_new[act]
+            X[:, act] += alpha[act] * P[:, act] + omega[act] * S[:, act]
+            R[:, act] = S[:, act] - omega[act] * T[:, act]
+            rho_prev[act] = rho[act]
+            r_norms[act] = _column_norms(R[:, act])
+            newly = active & (r_norms < thresholds)
+            converged_mask |= newly
+            active &= ~newly
+            _freeze(active & (~np.isfinite(r_norms)
+                              | (r_norms > crit.divergence_factor
+                                 * init_norms)),
+                    "divergence")
+        history.append(r_norms.copy())
+        if callback:
+            callback(it, X, r_norms)
+        if not active.any():
+            iterations = it
+            break
+
+    breakdown = None
+    if reasons:
+        breakdown = "; ".join(
+            f"{why} (columns {sorted(cols)})"
+            for why, cols in reasons.items())
+
+    if fallback and breakdown is not None:
+        bad = np.flatnonzero(~converged_mask)
+        singles = solve_many(op, B[:, bad], solver="bicgstab",
+                             criterion=crit) if bad.size else []
+        for idx, res in zip(bad, singles):
+            X[:, idx] = res.x
+            r_norms[idx] = res.residual_norm
+            converged_mask[idx] = res.converged
+        breakdown = f"{breakdown} (recovered per-column via solve_many)"
+
+    return BlockSolverResult(
+        X=X, converged=bool(converged_mask.all()), iterations=iterations,
+        residual_norms=r_norms, converged_mask=converged_mask,
+        residual_history=history, breakdown=breakdown, matmats=matmats)

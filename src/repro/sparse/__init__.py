@@ -1,6 +1,7 @@
 """Sparse-matrix substrate: blocking, layouts, Matrix Market I/O, gallery."""
 
 from repro.sparse.blocked import BlockedMatrix, block_coordinates
+from repro.sparse.bsr import BSRBlocks
 from repro.sparse.layout import (
     block_major_order,
     layout_report,
@@ -17,6 +18,7 @@ from repro.sparse.stats import (
 )
 
 __all__ = [
+    "BSRBlocks",
     "BlockedMatrix",
     "block_coordinates",
     "block_major_order",

@@ -1,18 +1,25 @@
 """Block partitioning of sparse matrices (the granularity of ReRAM compute).
 
 A :class:`BlockedMatrix` partitions a CSR matrix into ``2^b x 2^b`` square
-blocks — the unit mapped onto one crossbar cluster — and precomputes, fully
-vectorised:
+blocks — the unit mapped onto one crossbar cluster — and exposes the
+partition through a contiguous :class:`repro.sparse.bsr.BSRBlocks` view
+(``.bsr``): one ``(n_blocks, 2^b, 2^b)`` float64 tensor plus block
+``indptr``/``indices`` and the dense<->CSR ``scatter`` map.  Everything
+block-granular derives from that view, fully vectorised:
 
-* the (block-row, block-col) coordinate of every nonzero,
-* the set of occupied blocks and their nonzero counts,
 * the per-block optimal ReFloat exponent base ``eb`` (Eq. 5) and the exact
-  per-block exponent spread (the "locality" of Fig. 3d).
+  per-block exponent spread (the "locality" of Fig. 3d) — axis reductions
+  over the tensor;
+* ``dense_block`` — an O(1) tensor slice (what one crossbar cluster holds);
+* the ReFloat-quantised matrix as a plain CSR with the same sparsity
+  pattern (functionally what the crossbars compute, see Eq. 9), via a
+  single per-nonzero gather of the block bases;
+* storage/occupancy statistics used by the accelerator mapping and the
+  Table VIII memory accounting.
 
-From that it can materialise the ReFloat-quantised matrix as a plain CSR with
-the same sparsity pattern (functionally what the crossbars compute, see Eq. 9)
-and report storage/occupancy statistics used by the accelerator mapping and
-the Table VIII memory accounting.
+The legacy block-grouping arrays (``order``, ``group_starts``, ...) remain
+available for cross-checking and compatibility; on a store attach they are
+derived lazily from the BSR view instead of being persisted.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import scipy.sparse as sp
 
 from repro.formats import ieee
 from repro.formats.refloat import ReFloatSpec, quantize_values
+from repro.sparse.bsr import BSRBlocks
 from repro.util.validation import check_nonnegative_int
 
 __all__ = ["BlockedMatrix", "block_coordinates"]
@@ -68,19 +76,70 @@ class BlockedMatrix:
 
         bi, bj = block_coordinates(A, b)
         key = bi * self.block_grid[1] + bj
-        #: Stable permutation of nonzeros into block-grouped order.
-        self.order = np.argsort(key, kind="stable")
-        sorted_key = key[self.order]
+        # Stable permutation of nonzeros into block-grouped order.
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
         if sorted_key.size:
             boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
-            self.group_starts = np.concatenate(([0], boundaries))
-            self.block_keys = sorted_key[self.group_starts]
-            self.block_nnz = np.diff(np.concatenate((self.group_starts, [sorted_key.size])))
+            group_starts = np.concatenate(([0], boundaries))
+            self.block_keys = sorted_key[group_starts]
+            block_nnz = np.diff(np.concatenate((group_starts,
+                                                [sorted_key.size])))
         else:
-            self.group_starts = np.zeros(0, dtype=np.int64)
+            group_starts = np.zeros(0, dtype=np.int64)
             self.block_keys = np.zeros(0, dtype=np.int64)
-            self.block_nnz = np.zeros(0, dtype=np.int64)
-        self._nnz_key = key  # per-nonzero block key, in CSR order
+            block_nnz = np.zeros(0, dtype=np.int64)
+        self._order_arr = order
+        self._group_starts_arr = group_starts
+        self._block_nnz_arr = block_nnz
+        self._nnz_key_arr = key  # per-nonzero block key, in CSR order
+
+    # ------------------------------------------------------------------
+    # The contiguous layout and the (lazily derivable) grouping arrays.
+
+    @cached_property
+    def bsr(self) -> BSRBlocks:
+        """The contiguous BSR view — every block consumer's operand layout.
+
+        Built once per partition (``8 * n_blocks * 4^b`` bytes); a
+        store-attached partition arrives with this view pre-populated from
+        the memory-mapped tensor, so nothing is rebuilt.
+        """
+        return BSRBlocks.from_partition(self.A, self.b, self.block_grid,
+                                        self.order, self.block_keys,
+                                        self.block_nnz)
+
+    @property
+    def order(self) -> np.ndarray:
+        """Stable permutation of nonzeros into block-grouped order."""
+        if self._order_arr is None:
+            # Stable argsort of the per-nonzero block index gives the same
+            # permutation as the original block-key argsort (the block index
+            # is the rank of the key — a monotone relabelling).
+            self._order_arr = np.argsort(self.bsr.block_of_nnz, kind="stable")
+        return self._order_arr
+
+    @property
+    def group_starts(self) -> np.ndarray:
+        if self._group_starts_arr is None:
+            block_nnz = self.block_nnz
+            self._group_starts_arr = (
+                np.concatenate(([0], np.cumsum(block_nnz)[:-1]))
+                if block_nnz.size else np.zeros(0, dtype=np.int64))
+        return self._group_starts_arr
+
+    @property
+    def block_nnz(self) -> np.ndarray:
+        if self._block_nnz_arr is None:
+            self._block_nnz_arr = self.bsr.block_nnz
+        return self._block_nnz_arr
+
+    @property
+    def _nnz_key(self) -> np.ndarray:
+        if self._nnz_key_arr is None:
+            self._nnz_key_arr = (self.block_keys[self.bsr.block_of_nnz]
+                                 if self.nnz else np.zeros(0, dtype=np.int64))
+        return self._nnz_key_arr
 
     # ------------------------------------------------------------------
     def to_arrays(self) -> dict:
@@ -88,9 +147,11 @@ class BlockedMatrix:
 
         Together with the canonical CSR matrix (``self.A``) and ``b`` these
         reconstruct the partition via :meth:`from_arrays` without re-running
-        the block-key argsort — the point of the on-disk asset store.  The
+        the block-key argsort.  The asset store persists the BSR layout
+        instead (see :meth:`from_bsr`); this grouped form remains for
+        callers that serialise the partition themselves.  The
         ``cached_property`` statistics (exponent bases etc.) are *not*
-        included; they recompute deterministically from ``A.data`` on demand.
+        included; they recompute deterministically on demand.
         """
         return {
             "order": self.order,
@@ -110,9 +171,12 @@ class BlockedMatrix:
         ``A`` must be the canonical CSR the partition was computed from
         (sorted, duplicate-free — ``BlockedMatrix.A`` as serialised); it is
         used as-is, so read-only memory-mapped arrays work and nothing is
-        copied or re-sorted.  Only cheap structural consistency is checked
-        here — content integrity is the caller's job (the asset store
-        checksums every array).
+        copied or re-sorted.  Structural consistency is always checked —
+        including that ``order`` is integer-typed and in-bounds, since a
+        tampered non-permutation ``order`` would silently misindex every
+        downstream gather.  The full O(nnz) permutation check runs only
+        when ``store_verify`` is on (the asset store's deep-verification
+        toggle); content integrity beyond that is the caller's job.
         """
         b = check_nonnegative_int(b, "b")
         nnz = int(A.nnz)
@@ -120,6 +184,13 @@ class BlockedMatrix:
             raise ValueError(
                 f"order/nnz_key must have {nnz} entries, got "
                 f"{order.shape}/{nnz_key.shape}")
+        if not np.issubdtype(order.dtype, np.integer):
+            raise ValueError(
+                f"order must be an integer array, got dtype {order.dtype}")
+        if nnz and (int(order.min()) < 0 or int(order.max()) >= nnz):
+            raise ValueError(
+                f"order entries must lie in [0, {nnz}), got "
+                f"[{int(order.min())}, {int(order.max())}]")
         n_blocks = block_keys.shape[0]
         if group_starts.shape != (n_blocks,) or block_nnz.shape != (n_blocks,):
             raise ValueError(
@@ -128,16 +199,52 @@ class BlockedMatrix:
         if int(block_nnz.sum()) != nnz:
             raise ValueError(
                 f"block_nnz sums to {int(block_nnz.sum())}, matrix has {nnz}")
+        from repro.api import config  # deferred: repro.api imports operators
+
+        if config.active().store_verify and nnz:
+            if np.unique(order).size != nnz:
+                raise ValueError(
+                    "order is not a permutation (duplicate entries)")
         self = object.__new__(cls)
         self.A = A
         self.b = b
         n_rows, n_cols = A.shape
         self.block_grid = (-(-n_rows // (1 << b)), -(-n_cols // (1 << b)))
-        self.order = order
-        self.group_starts = group_starts
+        self._order_arr = order
+        self._group_starts_arr = group_starts
         self.block_keys = block_keys
-        self.block_nnz = block_nnz
-        self._nnz_key = nnz_key
+        self._block_nnz_arr = block_nnz
+        self._nnz_key_arr = nnz_key
+        return self
+
+    @classmethod
+    def from_bsr(cls, A: sp.csr_matrix, bsr: BSRBlocks) -> "BlockedMatrix":
+        """Attach a partition to a prebuilt :class:`BSRBlocks` view.
+
+        The asset-store load path: ``A`` is the canonical CSR (its ``data``
+        gathers bit-identically from the tensor) and ``bsr`` the
+        memory-mapped layout.  The grouping arrays (``order``,
+        ``group_starts``, ...) derive lazily on first access; the hot paths
+        (quantisation, the engine, ``dense_block``) never need them.
+        """
+        nnz = int(A.nnz)
+        if bsr.shape != tuple(A.shape):
+            raise ValueError(
+                f"BSR layout is for shape {bsr.shape}, matrix is {A.shape}")
+        if bsr.nnz != nnz:
+            raise ValueError(
+                f"BSR layout holds {bsr.nnz} nonzeros, matrix has {nnz}")
+        self = object.__new__(cls)
+        self.A = A
+        self.b = bsr.b
+        self.block_grid = bsr.block_grid
+        self.block_keys = (bsr.block_rows * bsr.block_grid[1]
+                           + bsr.indices.astype(np.int64))
+        self._order_arr = None
+        self._group_starts_arr = None
+        self._block_nnz_arr = None
+        self._nnz_key_arr = None
+        self.__dict__["bsr"] = bsr
         return self
 
     # ------------------------------------------------------------------
@@ -167,19 +274,20 @@ class BlockedMatrix:
         """One ``2^b x 2^b`` dense block, zero-padded at ragged edges.
 
         This is exactly what a single crossbar cluster holds — the unit a
-        :class:`repro.hardware.engine.ProcessingEngine` consumes.
+        :class:`repro.hardware.engine.ProcessingEngine` consumes.  An O(1)
+        binary search in the block row plus one tensor-slice copy;
+        unoccupied blocks come back as zeros.
         """
         size = self.block_size
-        n_rows, n_cols = self.A.shape
-        r0, c0 = bi * size, bj * size
-        if not (0 <= r0 < n_rows and 0 <= c0 < n_cols):
+        nbr, nbc = self.block_grid
+        if not (0 <= bi < nbr and 0 <= bj < nbc):
             raise IndexError(f"block ({bi}, {bj}) outside grid {self.block_grid}")
-        sub = self.A[r0:r0 + size, c0:c0 + size].toarray()
-        if sub.shape == (size, size):
-            return sub
-        out = np.zeros((size, size), dtype=np.float64)
-        out[: sub.shape[0], : sub.shape[1]] = sub
-        return out
+        bsr = self.bsr
+        lo, hi = int(bsr.indptr[bi]), int(bsr.indptr[bi + 1])
+        pos = lo + int(np.searchsorted(bsr.indices[lo:hi], bj))
+        if pos < hi and int(bsr.indices[pos]) == bj:
+            return np.array(bsr.data[pos], dtype=np.float64)
+        return np.zeros((size, size), dtype=np.float64)
 
     # ------------------------------------------------------------------
     @cached_property
@@ -188,12 +296,42 @@ class BlockedMatrix:
         return exp
 
     @cached_property
+    def _block_exp_extrema(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-block (max, min) stored exponent, from tensor axis reductions.
+
+        The IEEE exponent is monotone in magnitude (with subnormals mapping
+        to the ``EXP_ZERO`` sentinel below every normal exponent, exactly as
+        :func:`repro.formats.ieee.decompose` reports them), so the blockwise
+        extreme exponents are the exponents of the blockwise extreme
+        magnitudes — two axis reductions over the tensor plus one
+        ``n_blocks``-sized decompose, instead of per-nonzero reduceat.
+        Unoccupied cells are excluded: exactly zero, they never win the max
+        (every block holds a nonzero) and are masked to ``inf`` for the min.
+        """
+        if self.n_blocks == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        mags = np.abs(self.bsr.data)
+        peak = mags.max(axis=(1, 2))
+        low = np.where(mags != 0.0, mags, np.inf).min(axis=(1, 2))
+        mx = ieee.decompose(peak)[1].astype(np.int64)
+        mn = ieee.decompose(low)[1].astype(np.int64)
+        return mx, mn
+
+    @cached_property
     def block_eb(self) -> np.ndarray:
-        """Per-block Eq. 5 exponent base (round of mean), block-grouped order."""
-        exps = self._exponents[self.order].astype(np.float64)
-        if exps.size == 0:
+        """Per-block Eq. 5 exponent base (round of mean), block-grouped order.
+
+        The exponent sums accumulate per block via ``bincount`` over the BSR
+        per-nonzero block index — every partial sum is an exact integer in
+        float64, so the result is bit-identical to any other summation order
+        over the same per-block exponent multisets.
+        """
+        if self.nnz == 0:
             return np.zeros(0, dtype=np.int32)
-        sums = np.add.reduceat(exps, self.group_starts)
+        sums = np.bincount(self.bsr.block_of_nnz,
+                           weights=self._exponents.astype(np.float64),
+                           minlength=self.n_blocks)
         means = sums / self.block_nnz
         return np.floor(means + 0.5).astype(np.int32)
 
@@ -203,29 +341,29 @@ class BlockedMatrix:
             return self.block_eb
         if policy != "cover":
             raise ValueError(f"policy must be 'cover' or 'mean', got {policy!r}")
-        exps = self._exponents[self.order]
-        if exps.size == 0:
+        if self.nnz == 0:
             return np.zeros(0, dtype=np.int32)
-        mx = np.maximum.reduceat(exps, self.group_starts).astype(np.int64)
+        mx, _ = self._block_exp_extrema
         hi = (1 << (e - 1)) - 1 if e > 0 else 0
         return (mx - hi).astype(np.int32)
 
     @cached_property
     def block_exponent_range(self) -> np.ndarray:
         """Per-block (max - min) exponent spread, block-grouped order."""
-        exps = self._exponents[self.order]
-        if exps.size == 0:
+        if self.nnz == 0:
             return np.zeros(0, dtype=np.int32)
-        mx = np.maximum.reduceat(exps, self.group_starts)
-        mn = np.minimum.reduceat(exps, self.group_starts)
+        mx, mn = self._block_exp_extrema
         return (mx - mn).astype(np.int32)
 
     def per_nnz_eb(self, e: int = 3, policy: str = "cover") -> np.ndarray:
-        """Exponent base of each nonzero's block, in CSR nonzero order."""
-        expanded = np.repeat(self.exponent_bases(e, policy), self.block_nnz)
-        out = np.empty(self.nnz, dtype=np.int32)
-        out[self.order] = expanded
-        return out
+        """Exponent base of each nonzero's block, in CSR nonzero order.
+
+        One gather through the BSR per-nonzero block index (the old path
+        expanded the bases with ``repeat`` and inverse-permuted them)."""
+        bases = self.exponent_bases(e, policy)
+        if self.nnz == 0:
+            return np.zeros(0, dtype=np.int32)
+        return bases[self.bsr.block_of_nnz]
 
     def locality_bits(self) -> int:
         """Fig. 3d "locality": offset bits covering every block's exponent range.

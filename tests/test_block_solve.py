@@ -11,9 +11,12 @@ independent ``cg`` solves.
 import numpy as np
 import pytest
 
+import scipy.sparse as sp
+
 from repro.operators import CountingOperator, ExactOperator, ReFloatOperator
 from repro.solvers import (
     ConvergenceCriterion,
+    block_bicgstab,
     block_cg,
     cg,
     solve_many,
@@ -182,6 +185,164 @@ class TestBlockCG:
         B[0, 0] = np.nan
         with pytest.raises(ValueError):
             block_cg(small_spd, B)
+
+
+def _nonsymmetric(n=150, density=0.05, seed=3):
+    """Diagonally dominant nonsymmetric sparse system (BiCGSTAB territory)."""
+    A = sp.random(n, n, density=density, random_state=seed, format="csr")
+    return (A + sp.diags(np.asarray(np.abs(A).sum(axis=1)).ravel() + 1.0)
+            ).tocsr()
+
+
+class TestBlockBiCGSTAB:
+    def test_solves_all_columns_nonsymmetric(self, rng):
+        A = _nonsymmetric()
+        B, _ = _rhs_block(A, 6, rng)
+        res = block_bicgstab(A, B)
+        assert res.converged and res.breakdown is None
+        assert bool(res.converged_mask.all())
+        crit = ConvergenceCriterion()
+        for j in range(6):
+            r = np.linalg.norm(B[:, j] - A @ res.X[:, j])
+            assert r < 10 * crit.tol * np.linalg.norm(B[:, j])
+
+    def test_tolerance_pinned_against_per_column_bicgstab(self, rng):
+        # The columns follow exactly the scalar recurrence (only the BLAS
+        # accumulation differs), so the block solve lands on the same
+        # iterates as per-column bicgstab to well below the tolerance.
+        A = _nonsymmetric()
+        B, _ = _rhs_block(A, 4, rng)
+        crit = ConvergenceCriterion(tol=1e-10)
+        res = block_bicgstab(A, B, criterion=crit)
+        singles = solve_many(A, B, solver="bicgstab", criterion=crit)
+        assert res.converged and all(s.converged for s in singles)
+        for j, s in enumerate(singles):
+            scale = np.linalg.norm(s.x)
+            assert np.linalg.norm(res.X[:, j] - s.x) < 1e-6 * scale
+
+    def test_batching_economy_on_suite_matrix(self, rng, suite_matrix):
+        # k=8 block BiCGSTAB programs the engine measurably fewer times
+        # than 8 independent bicgstab solves (two matmats per iteration vs
+        # two matvecs per column per iteration).
+        from repro.solvers import bicgstab
+
+        B, _ = _rhs_block(suite_matrix, 8, rng)
+        counted_block = CountingOperator(suite_matrix)
+        res = block_bicgstab(counted_block, B)
+        assert res.converged
+        assert counted_block.count == res.matmats
+        assert counted_block.columns == 8 * counted_block.count
+        counted_loop = CountingOperator(suite_matrix)
+        singles = [bicgstab(counted_loop, B[:, j]) for j in range(8)]
+        assert all(s.converged for s in singles)
+        assert counted_block.count < counted_loop.count / 2
+
+    def test_refloat_platform_block_solve(self, rng, suite_matrix):
+        op = ReFloatOperator(suite_matrix)
+        B, _ = _rhs_block(suite_matrix, 4, rng)
+        crit = ConvergenceCriterion(tol=1e-6)
+        res = block_bicgstab(op, B, criterion=crit)
+        singles = solve_many(op, B, solver="bicgstab", criterion=crit)
+        assert res.converged and all(s.converged for s in singles)
+        b_norms = np.linalg.norm(B, axis=0)
+        assert bool((res.residual_norms < crit.tol * b_norms).all())
+        for j, s in enumerate(singles):
+            diff = np.linalg.norm(res.X[:, j] - s.x) / np.linalg.norm(s.x)
+            assert diff < 1e-2
+
+    def test_duplicate_columns_do_not_couple(self, rng, small_spd):
+        # Unlike block CG there is no shared search block: duplicated
+        # columns are simply solved twice, identically — no breakdown.
+        b = small_spd @ (random_float_array(rng, small_spd.shape[0]) + 3.0)
+        B = np.column_stack([b, b])
+        res = block_bicgstab(small_spd, B)
+        assert res.converged and res.breakdown is None
+        np.testing.assert_array_equal(res.X[:, 0], res.X[:, 1])
+
+    def test_x0_and_history(self, rng, small_spd):
+        B, X_true = _rhs_block(small_spd, 3, rng)
+        res0 = block_bicgstab(small_spd, B, X0=np.zeros_like(B))
+        res_warm = block_bicgstab(small_spd, B, X0=X_true)
+        assert res_warm.iterations == 0 and res_warm.converged
+        assert len(res0.residual_history) == res0.iterations + 1
+        assert res0.residual_history[0].shape == (3,)
+        norms = [h.max() for h in res0.residual_history]
+        assert norms[-1] < norms[0]
+
+    def test_matmats_at_most_two_per_iteration(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 3, rng)
+        res = block_bicgstab(small_spd, B)
+        assert res.converged
+        # Two applies per full iteration; the final one may exit half-step.
+        assert 2 * res.iterations - 1 <= res.matmats <= 2 * res.iterations
+
+    def test_callback(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 2, rng)
+        seen = []
+        block_bicgstab(small_spd, B,
+                       callback=lambda it, X, r: seen.append((it, r.copy())))
+        assert [it for it, _ in seen] == list(range(1, len(seen) + 1))
+
+    def test_zero_rhs_block(self, small_spd):
+        res = block_bicgstab(small_spd, np.zeros((small_spd.shape[0], 3)))
+        assert res.converged and res.iterations == 0
+        assert np.all(res.X == 0.0)
+
+    def test_zero_column_rides_along(self, rng, small_spd):
+        # A zero column is solved exactly by x = 0 while the others iterate.
+        B, _ = _rhs_block(small_spd, 3, rng)
+        B[:, 1] = 0.0
+        res = block_bicgstab(small_spd, B)
+        assert res.converged
+        assert np.all(res.X[:, 1] == 0.0)
+
+    def test_budget_exhaustion(self, rng, small_spd):
+        B, _ = _rhs_block(small_spd, 2, rng)
+        res = block_bicgstab(small_spd, B,
+                             criterion=ConvergenceCriterion(max_iterations=2))
+        assert not res.converged and res.iterations == 2
+        assert res.breakdown is None
+
+    def test_breakdown_freezes_column_and_fallback_repairs(self, rng):
+        # A singular system breaks the recurrence; the breakdown names the
+        # affected columns and fallback=True repairs what bicgstab can.
+        n = 40
+        A = sp.diags(np.concatenate([[0.0], np.ones(n - 1)])).tocsr()
+        B = np.zeros((n, 2))
+        B[0, 0] = 1.0              # unsolvable column (row 0 is zero)
+        B[1:, 1] = rng.standard_normal(n - 1)
+        res = block_bicgstab(A, B, criterion=ConvergenceCriterion(
+            max_iterations=50))
+        assert res.breakdown is not None and "columns" in res.breakdown
+        assert not res.converged_mask[0]
+        res_fb = block_bicgstab(A, B, fallback=True,
+                                criterion=ConvergenceCriterion(
+                                    max_iterations=50))
+        assert "recovered per-column" in res_fb.breakdown
+        # Column 1 solves exactly (identity on its support) either way.
+        assert bool(res.converged_mask[1]) or bool(res_fb.converged_mask[1])
+
+    def test_validation(self, rng, small_spd):
+        n = small_spd.shape[0]
+        with pytest.raises(ValueError):
+            block_bicgstab(small_spd, np.ones(n))            # 1-D B
+        with pytest.raises(ValueError):
+            block_bicgstab(small_spd, np.ones((n + 1, 2)))   # dim mismatch
+        with pytest.raises(ValueError):
+            block_bicgstab(small_spd, np.ones((n, 0)))       # no columns
+        B = np.ones((n, 2))
+        with pytest.raises(ValueError):
+            block_bicgstab(small_spd, B, X0=np.ones((n, 3)))
+        B[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            block_bicgstab(small_spd, B)
+
+    def test_registered_multi_rhs(self):
+        from repro.api import SOLVER_REGISTRY
+
+        spec = SOLVER_REGISTRY.get("block_bicgstab")
+        assert spec.multi_rhs
+        assert spec.spmvs_per_iteration == 2
 
 
 class TestSolveMany:

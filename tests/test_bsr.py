@@ -1,0 +1,303 @@
+"""BSRBlocks: round-trips, refactor pinning, and layout validation.
+
+The contiguous BSR layout is the single block representation — every test
+here pins it against the representation it replaced:
+
+* CSR -> BSR -> CSR round-trips bit-identically over the nasty shapes
+  (ragged edges, empty matrix, single occupied block, the non-canonical
+  suite matrices 2257/2259 at the paper's b=7);
+* the tensor-derived exponent statistics and ``quantize`` match the old
+  ``reduceat``-over-block-grouped-data formulas bit for bit (including the
+  subnormal/EXP_ZERO corner);
+* ``from_bsr`` lazily re-derives the legacy grouping arrays identically;
+* the ``from_arrays`` order-validation bugfix rejects tampered
+  non-permutation arrays with named errors.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import ieee
+from repro.formats.refloat import ReFloatSpec, quantize_values
+from repro.sparse import BlockedMatrix, BSRBlocks
+from repro.sparse.gallery import build_matrix, laplacian_2d
+
+
+def random_float_array(rng, n, exp_range=(-20, 20), include_zero=False):
+    """Random finite doubles with a controlled exponent spread."""
+    vals = rng.standard_normal(n) * np.exp2(rng.uniform(*exp_range, n))
+    if include_zero and n > 2:
+        vals[rng.integers(0, n, max(1, n // 10))] = 0.0
+    return vals
+
+
+def _random_sparse(rng, n_rows, n_cols, density):
+    nnz = max(1, int(n_rows * n_cols * density))
+    rows = rng.integers(0, n_rows, nnz)
+    cols = rng.integers(0, n_cols, nnz)
+    vals = random_float_array(rng, nnz)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
+
+
+def _cases():
+    rng = np.random.default_rng(20240807)
+    yield "ragged-square", BlockedMatrix(_random_sparse(rng, 29, 29, 0.1), b=2)
+    yield "ragged-rect", BlockedMatrix(_random_sparse(rng, 24, 17, 0.15), b=3)
+    yield "laplacian", BlockedMatrix(laplacian_2d(7), b=3)
+    yield "empty", BlockedMatrix(sp.csr_matrix((16, 16)), b=2)
+    single = sp.csr_matrix((np.array([1.5, -2.25, 3.0]),
+                            (np.array([9, 10, 11]), np.array([8, 9, 10]))),
+                           shape=(32, 32))
+    yield "single-block", BlockedMatrix(single, b=3)
+    sub = _random_sparse(rng, 40, 40, 0.1)
+    sub.data[::3] = np.ldexp(sub.data[::3], -1070)   # subnormal values
+    sub.eliminate_zeros()
+    yield "subnormal", BlockedMatrix(sub, b=2)
+    yield "suite-2257", BlockedMatrix(build_matrix(2257, "test"), b=7)
+    yield "suite-2259", BlockedMatrix(build_matrix(2259, "test"), b=7)
+
+
+CASES = dict(_cases())
+
+
+@pytest.fixture(params=sorted(CASES), scope="module")
+def bm(request):
+    return CASES[request.param]
+
+
+# ----------------------------------------------------------------------
+# Legacy reduceat-based references (the pre-BSR formulas, verbatim).
+
+
+def _ref_cover_bases(bm, e):
+    exps = ieee.decompose(bm.A.data)[1]
+    mx = np.maximum.reduceat(exps[bm.order], bm.group_starts).astype(np.int64)
+    hi = (1 << (e - 1)) - 1 if e > 0 else 0
+    return (mx - hi).astype(np.int32)
+
+
+def _ref_block_eb(bm):
+    exps = ieee.decompose(bm.A.data)[1]
+    sums = np.add.reduceat(exps[bm.order].astype(np.float64),
+                           bm.group_starts)
+    return np.floor(sums / bm.block_nnz + 0.5).astype(np.int32)
+
+
+def _ref_exponent_range(bm):
+    exps = ieee.decompose(bm.A.data)[1]
+    grouped = exps[bm.order]
+    mx = np.maximum.reduceat(grouped, bm.group_starts).astype(np.int64)
+    mn = np.minimum.reduceat(grouped, bm.group_starts).astype(np.int64)
+    return (mx - mn).astype(np.int32)
+
+
+def _ref_per_nnz_eb(bm, e, policy):
+    bases = (_ref_block_eb(bm) if policy == "mean"
+             else _ref_cover_bases(bm, e))
+    per = np.empty(bm.nnz, dtype=np.int32)
+    per[bm.order] = np.repeat(bases, bm.block_nnz)
+    return per
+
+
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_csr_bsr_csr_bit_identical(self, bm):
+        back = bm.bsr.to_csr()
+        np.testing.assert_array_equal(back.data, bm.A.data)
+        np.testing.assert_array_equal(back.indices, bm.A.indices)
+        np.testing.assert_array_equal(back.indptr, bm.A.indptr)
+        assert back.shape == bm.A.shape
+
+    def test_csr_data_gather_bit_identical(self, bm):
+        np.testing.assert_array_equal(bm.bsr.csr_data(), bm.A.data)
+
+    def test_scatter_values_rebuilds_tensor(self, bm):
+        np.testing.assert_array_equal(bm.bsr.scatter_values(bm.A.data),
+                                      bm.bsr.data)
+
+    def test_tensor_accounts_every_nonzero(self, bm):
+        bsr = bm.bsr
+        assert bsr.data.shape == (bm.n_blocks, bm.block_size, bm.block_size)
+        assert int(np.count_nonzero(bsr.data)) <= bm.nnz
+        assert int(bsr.block_nnz.sum()) == bm.nnz
+        np.testing.assert_array_equal(bsr.block_nnz, bm.block_nnz)
+
+    def test_block_addressing_matches_block_keys(self, bm):
+        bsr = bm.bsr
+        nbc = bm.block_grid[1]
+        keys = bsr.block_rows * nbc + bsr.indices.astype(np.int64)
+        np.testing.assert_array_equal(keys, bm.block_keys)
+
+
+class TestRefactorPinning:
+    def test_cover_bases_match_reduceat(self, bm):
+        for e in (0, 3, 5):
+            np.testing.assert_array_equal(bm.exponent_bases(e, "cover"),
+                                          _ref_cover_bases(bm, e))
+
+    def test_block_eb_matches_reduceat(self, bm):
+        np.testing.assert_array_equal(bm.block_eb, _ref_block_eb(bm))
+
+    def test_exponent_range_matches_reduceat(self, bm):
+        np.testing.assert_array_equal(bm.block_exponent_range,
+                                      _ref_exponent_range(bm))
+
+    def test_per_nnz_eb_matches_double_permutation(self, bm):
+        for policy in ("cover", "mean"):
+            np.testing.assert_array_equal(bm.per_nnz_eb(3, policy),
+                                          _ref_per_nnz_eb(bm, 3, policy))
+
+    def test_quantize_bit_identical_to_reference(self, bm):
+        spec = ReFloatSpec(b=bm.b, e=3, f=3, ev=3, fv=8)
+        Q = bm.quantize(spec)
+        qdata, _ = quantize_values(bm.A.data, spec.e, spec.f,
+                                   eb=_ref_per_nnz_eb(bm, spec.e,
+                                                      spec.eb_policy),
+                                   rounding=spec.rounding,
+                                   underflow=spec.underflow)
+        np.testing.assert_array_equal(Q.data, qdata)
+        np.testing.assert_array_equal(Q.indices, bm.A.indices)
+        np.testing.assert_array_equal(Q.indptr, bm.A.indptr)
+
+    def test_dense_block_matches_scipy_slice(self, bm):
+        size = bm.block_size
+        bi_all, bj_all = bm.block_coords()
+        probe = list(zip(bi_all[:8], bj_all[:8]))
+        # Also probe an unoccupied block when the grid has room.
+        occupied = set(zip(bi_all.tolist(), bj_all.tolist()))
+        for bi in range(bm.block_grid[0]):
+            for bj in range(bm.block_grid[1]):
+                if (bi, bj) not in occupied:
+                    probe.append((bi, bj))
+                    break
+            else:
+                continue
+            break
+        for bi, bj in probe:
+            ref = np.zeros((size, size))
+            chunk = bm.A[bi * size:(bi + 1) * size,
+                         bj * size:(bj + 1) * size].toarray()
+            ref[:chunk.shape[0], :chunk.shape[1]] = chunk
+            np.testing.assert_array_equal(bm.dense_block(int(bi), int(bj)),
+                                          ref)
+
+    def test_dense_block_bounds(self, bm):
+        with pytest.raises(IndexError, match="outside grid"):
+            bm.dense_block(bm.block_grid[0], 0)
+
+
+class TestFromBsr:
+    def test_grouping_arrays_rederive_identically(self, bm):
+        back = BlockedMatrix.from_bsr(bm.A, bm.bsr)
+        np.testing.assert_array_equal(back.order, bm.order)
+        np.testing.assert_array_equal(back.group_starts, bm.group_starts)
+        np.testing.assert_array_equal(back.block_keys, bm.block_keys)
+        np.testing.assert_array_equal(back.block_nnz, bm.block_nnz)
+        np.testing.assert_array_equal(back._nnz_key, bm._nnz_key)
+        assert back.b == bm.b and back.block_grid == bm.block_grid
+
+    def test_statistics_identical_through_from_bsr(self, bm):
+        back = BlockedMatrix.from_bsr(bm.A, bm.bsr)
+        np.testing.assert_array_equal(back.block_eb, bm.block_eb)
+        np.testing.assert_array_equal(back.exponent_bases(3, "cover"),
+                                      bm.exponent_bases(3, "cover"))
+        spec = ReFloatSpec(b=bm.b, e=3, f=3, ev=3, fv=8)
+        np.testing.assert_array_equal(back.quantize(spec).data,
+                                      bm.quantize(spec).data)
+
+    def test_shape_and_nnz_mismatch_rejected(self, bm):
+        if bm.nnz == 0:
+            pytest.skip("needs nonzeros")
+        wrong = sp.csr_matrix((bm.shape[0] + bm.block_size, bm.shape[1]))
+        with pytest.raises(ValueError, match="shape"):
+            BlockedMatrix.from_bsr(wrong, bm.bsr)
+        truncated = bm.A[:, :].copy()
+        truncated.data[0] = 0.0
+        truncated.eliminate_zeros()
+        with pytest.raises(ValueError, match="nonzeros"):
+            BlockedMatrix.from_bsr(truncated, bm.bsr)
+
+
+class TestLayoutValidation:
+    def test_structural_checks(self):
+        bm = CASES["laplacian"]
+        bsr = bm.bsr
+        args = dict(b=bsr.b, shape=bsr.shape, data=bsr.data,
+                    indptr=bsr.indptr, indices=bsr.indices,
+                    scatter=bsr.scatter)
+        BSRBlocks(**args)  # the genuine layout validates
+        with pytest.raises(ValueError, match="data must be"):
+            BSRBlocks(**{**args, "data": bsr.data[:, :1, :]})
+        with pytest.raises(ValueError, match="1-D integer"):
+            BSRBlocks(**{**args,
+                         "scatter": bsr.scatter.astype(np.float64)})
+        with pytest.raises(ValueError, match="indptr must have"):
+            BSRBlocks(**{**args, "indptr": bsr.indptr[:-1]})
+        bad_ptr = bsr.indptr.copy()
+        bad_ptr[-1] += 1
+        with pytest.raises(ValueError, match="indptr must run"):
+            BSRBlocks(**{**args, "indptr": bad_ptr})
+        with pytest.raises(ValueError, match="block columns must lie"):
+            BSRBlocks(**{**args, "indices": bsr.indices + bsr.block_grid[1]})
+        with pytest.raises(ValueError, match="strictly ascending"):
+            BSRBlocks(**{**args, "indices": bsr.indices[::-1].copy()})
+        with pytest.raises(ValueError, match="scatter indices must lie"):
+            BSRBlocks(**{**args,
+                         "scatter": bsr.scatter + bsr.data.size})
+
+    def test_scatter_injectivity_check(self):
+        bm = CASES["laplacian"]
+        bsr = bm.bsr
+        bsr.check_scatter_unique()   # genuine layout passes
+        dup = bsr.scatter.copy()
+        dup[1] = dup[0]
+        tampered = BSRBlocks(bsr.b, bsr.shape, bsr.data, bsr.indptr,
+                             bsr.indices, dup)
+        with pytest.raises(ValueError, match="same cell"):
+            tampered.check_scatter_unique()
+
+
+class TestFromArraysValidation:
+    """The ISSUE 8 bugfix: a tampered ``order`` must not silently misindex."""
+
+    def _arrays(self):
+        bm = CASES["laplacian"]
+        return bm, bm.to_arrays()
+
+    def test_accepts_genuine_arrays(self):
+        bm, arrays = self._arrays()
+        back = BlockedMatrix.from_arrays(bm.A, bm.b, **arrays)
+        np.testing.assert_array_equal(back.block_eb, bm.block_eb)
+
+    def test_rejects_float_order(self):
+        bm, arrays = self._arrays()
+        arrays["order"] = arrays["order"].astype(np.float64)
+        with pytest.raises(ValueError, match="order must be an integer"):
+            BlockedMatrix.from_arrays(bm.A, bm.b, **arrays)
+
+    def test_rejects_out_of_bounds_order(self):
+        bm, arrays = self._arrays()
+        bad = arrays["order"].copy()
+        bad[3] = bm.nnz + 5
+        arrays["order"] = bad
+        with pytest.raises(ValueError, match="order entries must lie"):
+            BlockedMatrix.from_arrays(bm.A, bm.b, **arrays)
+        bad[3] = -1
+        with pytest.raises(ValueError, match="order entries must lie"):
+            BlockedMatrix.from_arrays(bm.A, bm.b, **arrays)
+
+    def test_rejects_duplicate_order_under_store_verify(self, monkeypatch):
+        bm, arrays = self._arrays()
+        bad = arrays["order"].copy()
+        bad[1] = bad[0]              # in-bounds, right dtype — but not a
+        arrays["order"] = bad        # permutation
+        monkeypatch.setenv("REPRO_ASSET_STORE_VERIFY", "1")
+        with pytest.raises(ValueError, match="not a permutation"):
+            BlockedMatrix.from_arrays(bm.A, bm.b, **arrays)
+        # With deep verification off the cheap checks still pass it through
+        # (the store pairs this with checksums, which catch the tampering).
+        monkeypatch.setenv("REPRO_ASSET_STORE_VERIFY", "0")
+        BlockedMatrix.from_arrays(bm.A, bm.b, **arrays)
