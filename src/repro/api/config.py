@@ -29,6 +29,10 @@ Resolution order, strongest first:
 | ``REPRO_REQUEST_TIMEOUT`` | ``request_timeout`` | per-request seconds     |
 | ``REPRO_REQUEST_RETRIES`` | ``request_retries`` | extra attempts on error |
 | ``REPRO_RETRY_BACKOFF``   | ``retry_backoff``   | backoff base seconds    |
+| ``REPRO_SERVICE_STORE``   | ``service_store``   | remote store base URL   |
+| ``REPRO_SERVICE_BATCH_WINDOW`` | ``service_batch_window`` | coalescing window (s) |
+| ``REPRO_SERVICE_BATCH_MAX`` | ``service_batch_max`` | max coalesced batch   |
+| ``REPRO_SERVICE_COALESCE=0`` | ``service_coalesce`` | disable coalescing   |
 | ``REPRO_SOLVER_TOL``      | ``criterion.tol``  | convergence tolerance    |
 | ``REPRO_SOLVER_MAX_ITERATIONS`` | ``criterion.max_iterations`` | iteration budget |
 | ``REPRO_SOLVER_DIVERGENCE_FACTOR`` | ``criterion.divergence_factor`` | breakdown multiple |
@@ -173,6 +177,22 @@ class RunConfig:
     #: Deterministic exponential backoff base: retry ``n`` sleeps
     #: ``retry_backoff * 2**(n-1)`` seconds (0 = retry immediately).
     retry_backoff: float = 0.0
+    #: Base URL of a solve-service daemon whose asset store backs this
+    #: host's local store cache (``http://host:port``; ``None`` = local
+    #: store only).  On a local miss the entry is fetched over the wire
+    #: and installed; freshly built entries are published back.
+    service_store: Optional[str] = None
+    #: Coalescing window of the service daemon, in seconds: a batch is
+    #: dispatched when this much time passed since its first request
+    #: (0 = dispatch immediately, i.e. no time-based coalescing).
+    service_batch_window: float = 0.05
+    #: Maximum requests per coalesced batch; a batch reaching this size
+    #: dispatches immediately without waiting for the window.
+    service_batch_max: int = 8
+    #: Whether the service daemon coalesces same-key requests at all
+    #: (``REPRO_SERVICE_COALESCE=0`` turns every request into its own
+    #: batch — the benchmark baseline).
+    service_coalesce: bool = True
 
     def __post_init__(self) -> None:
         if self.scale is not None and self.scale not in SCALES:
@@ -210,6 +230,23 @@ class RunConfig:
                 f"retry_backoff must be non-negative and finite, got "
                 f"{self.retry_backoff!r}")
         object.__setattr__(self, "retry_backoff", backoff)
+        if self.service_store is not None:
+            url = str(self.service_store).rstrip("/")
+            if not url.startswith(("http://", "https://")):
+                raise ValueError(
+                    f"service_store must be an http(s) base URL, got "
+                    f"{self.service_store!r}")
+            object.__setattr__(self, "service_store", url)
+        window = float(self.service_batch_window)
+        if not (window >= 0 and window != float("inf")):
+            raise ValueError(
+                f"service_batch_window must be non-negative and finite, "
+                f"got {self.service_batch_window!r}")
+        object.__setattr__(self, "service_batch_window", window)
+        object.__setattr__(self, "service_batch_max", check_positive_int(
+            self.service_batch_max, "service_batch_max"))
+        object.__setattr__(self, "service_coalesce",
+                           bool(self.service_coalesce))
 
     # -- environment ----------------------------------------------------
 
@@ -250,6 +287,17 @@ class RunConfig:
         fields["retry_backoff"] = (
             check_env_nonnegative_float("REPRO_RETRY_BACKOFF", raw)
             if raw else 0.0)
+        fields["service_store"] = env.get("REPRO_SERVICE_STORE") or None
+        raw = env.get("REPRO_SERVICE_BATCH_WINDOW")
+        fields["service_batch_window"] = (
+            check_env_nonnegative_float("REPRO_SERVICE_BATCH_WINDOW", raw)
+            if raw else 0.05)
+        raw = env.get("REPRO_SERVICE_BATCH_MAX")
+        fields["service_batch_max"] = (
+            check_env_positive_int("REPRO_SERVICE_BATCH_MAX", raw)
+            if raw else 8)
+        fields["service_coalesce"] = env.get("REPRO_SERVICE_COALESCE",
+                                             "1") != "0"
         fields["criterion"] = _criterion_from_env(env)
         fields.update(overrides)
         return cls(**fields)

@@ -13,7 +13,14 @@ the same registry.
 from __future__ import annotations
 
 from repro.api.registry import register_solver
-from repro.solvers import bicgstab, block_bicgstab, block_cg, cg, solve_many
+from repro.solvers import (
+    bicgstab,
+    block_bicgstab,
+    block_cg,
+    cg,
+    solve_lockstep,
+    solve_many,
+)
 
 __all__ = ["DEFAULT_SOLVERS"]
 
@@ -47,3 +54,10 @@ register_solver(
     gpu_vector_kernels_per_iteration=5, multi_rhs=True,
     description="per-column single-RHS solves sharing one operator")(
         solve_many)
+
+register_solver(
+    "lockstep", spmvs_per_iteration=1, vector_ops_per_iteration=6,
+    gpu_vector_kernels_per_iteration=5, multi_rhs=True,
+    description="gang-scheduled per-column solves: one matmat per round, "
+                "bit-identical to solve_many (the service coalescer's "
+                "batch path)")(solve_lockstep)

@@ -323,9 +323,15 @@ class SweepSpec:
     sequences sweep it); the sweep expands to the cartesian product in the
     axis order given.  ``solvers`` and ``sids`` add solver/matrix axes
     (``sids=None`` = the full 12-matrix suite); ``scale`` of ``None``
-    defers to the active config.  ``baseline`` platforms are solved once
-    per (solver, sid) and grafted into every variant's result, so speedups
-    come without re-solving the reference per grid point.  Execute with
+    defers to the active config.  ``tols`` adds a convergence-tolerance
+    axis: each tolerance runs the whole grid under the base criterion with
+    its ``tol`` replaced, and the resolved per-cell criterion is stamped
+    into every :class:`~repro.api.specs.RunRequest` (so journal and cache
+    keys distinguish the tolerance cells); ``None`` keeps the single
+    active-criterion behaviour and the exact historical result shape.
+    ``baseline`` platforms are solved once per (solver, sid, tolerance)
+    and grafted into every variant's result, so speedups come without
+    re-solving the reference per grid point.  Execute with
     :func:`repro.experiments.common.run_sweep`.
     """
 
@@ -335,6 +341,7 @@ class SweepSpec:
     baseline: Optional[Tuple[str, ...]] = ("gpu",)
     sids: Optional[Tuple[int, ...]] = None
     scale: Optional[str] = None
+    tols: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         VARIANT_FAMILIES.get(self.family)  # unknown family fails fast
@@ -360,6 +367,19 @@ class SweepSpec:
         object.__setattr__(self, "baseline", _as_tuple(self.baseline, str))
         object.__setattr__(self, "sids", _as_tuple(self.sids, int))
         _check_scale(self.scale, required=False)
+        if self.tols is not None:
+            tols = _as_tuple(self.tols, float)
+            if not tols:
+                raise ValueError(
+                    "tols must name at least one tolerance (or be None)")
+            for tol in tols:
+                if not (tol > 0.0 and tol == tol and tol != float("inf")):
+                    raise ValueError(
+                        f"tolerances must be positive finite floats, "
+                        f"got {tol!r}")
+            if len(set(tols)) != len(tols):
+                raise ValueError(f"duplicate tolerances in {tols}")
+            object.__setattr__(self, "tols", tols)
 
     # -- expansion -------------------------------------------------------
 

@@ -26,6 +26,12 @@ Asset-store maintenance::
     python -m repro.experiments store --stats
     python -m repro.experiments store --gc --max-mb 512
 
+The solve service (long-lived daemon + remote client)::
+
+    python -m repro.experiments serve --host 127.0.0.1 --port 8537 \
+        --workers 4 --executor process --store /var/cache/repro
+    python -m repro.experiments solve --sid 353 --remote 127.0.0.1:8537
+
 Fault tolerance (suite and sweep): ``--retries``/``--timeout``/
 ``--backoff`` map onto the :class:`RunConfig` knobs, ``--on-error
 collect`` returns partial results with failure records instead of
@@ -48,7 +54,7 @@ from typing import List, Optional
 from repro.api import RunConfig, SuiteSpec
 from repro.api.specs import RunRequest
 
-_API_COMMANDS = ("suite", "solve", "sweep", "store")
+_API_COMMANDS = ("suite", "solve", "sweep", "store", "serve")
 
 
 def _split_csv(text: Optional[str]) -> Optional[list]:
@@ -140,7 +146,7 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
         overrides["workers"] = args.workers
     if getattr(args, "executor", None) is not None:
         overrides["executor"] = args.executor
-    if args.scale is not None:
+    if getattr(args, "scale", None) is not None:
         overrides["scale"] = args.scale
     if getattr(args, "timeout", None) is not None:
         overrides["request_timeout"] = args.timeout
@@ -148,6 +154,14 @@ def _run_config(args: argparse.Namespace) -> RunConfig:
         overrides["request_retries"] = args.retries
     if getattr(args, "backoff", None) is not None:
         overrides["retry_backoff"] = args.backoff
+    if getattr(args, "batch_window", None) is not None:
+        overrides["service_batch_window"] = args.batch_window
+    if getattr(args, "batch_max", None) is not None:
+        overrides["service_batch_max"] = args.batch_max
+    if getattr(args, "no_coalesce", False):
+        overrides["service_coalesce"] = False
+    if getattr(args, "store", None) is not None:
+        overrides["store"] = args.store
     return RunConfig.from_env(**overrides)
 
 
@@ -180,7 +194,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                          for sid, run in runs.items()},
                 "failures": [f.to_dict() for f in runs.failures],
                 "stats": (None if runs.stats is None
-                          else runs.stats.to_dict())},
+                          else runs.stats.to_dict()),
+                "trace_summary": (None if runs.stats is None
+                                  else runs.stats.trace_summary())},
                args.json_out)
     return _report_failures(runs.failures)
 
@@ -194,8 +210,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         scale=resolve_scale(args.scale),
         platforms=tuple(args.platforms) if args.platforms else None)
     from repro.api import use as use_config
-    with use_config(_run_config(args)):
-        run = run_request(request)
+    if args.remote:
+        from repro.experiments.common import MatrixRun
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient.from_config(args.remote, _run_config(args))
+        try:
+            run_dict = client.solve(request)
+        except ServiceError as exc:
+            sys.stderr.write(f"remote solve failed: {exc}\n")
+            return 3
+        run = MatrixRun.from_dict(run_dict)
+    else:
+        with use_config(_run_config(args)):
+            run = run_request(request)
     print(f"{run.name} (sid {run.sid}, n={run.n_rows}, nnz={run.nnz}, "
           f"{run.n_blocks} blocks) — {run.solver}")
     for platform in run.platforms:
@@ -235,7 +263,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         baseline = tuple(args.baseline)
     spec = SweepSpec(family=args.platform, grid=tuple(args.grid),
                      solvers=(args.solver,), baseline=baseline,
-                     sids=args.sids, scale=args.scale)
+                     sids=args.sids, scale=args.scale, tols=args.tols)
     with use_fault_plan(args.fault or None):
         result = run_sweep(spec, config=_run_config(args),
                            on_error=args.on_error, journal=args.journal,
@@ -244,24 +272,82 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sys.stderr.write(
             f"journal: {result.stats.journal_skipped} cell(s) replayed, "
             f"{result.stats.requests} solved\n")
+    tol_axis = spec.tols if spec.tols is not None else (None,)
     rows = []
-    for token in result.tokens:
-        cell = result.variant(token)
-        speedups = [run.speedup(token) for run in cell.values()]
-        for sid, run in cell.items():
-            its = run.iterations(token)
-            s = run.speedup(token)
-            rows.append([token, sid, its if its is not None else "NC",
-                         s if s == s else "NC"])
-        if len(cell) > 1:
-            gmn = geometric_mean(speedups)
-            rows.append([token, "GMN", "", gmn if gmn == gmn else "NC"])
+    for tol in tol_axis:
+        for token in result.tokens:
+            cell = result.variant(token, tol=tol)
+            speedups = [run.speedup(token) for run in cell.values()]
+            prefix = [token] if tol is None else [token, tol]
+            for sid, run in cell.items():
+                its = run.iterations(token)
+                s = run.speedup(token)
+                rows.append(prefix + [sid, its if its is not None else "NC",
+                                      s if s == s else "NC"])
+            if len(cell) > 1:
+                gmn = geometric_mean(speedups)
+                rows.append(prefix + ["GMN", "",
+                                      gmn if gmn == gmn else "NC"])
+    header = ["variant"] + (["tol"] if spec.tols is not None else []) + \
+        ["id", "#iterations", "speedup vs GPU"]
     print(format_table(
-        ["variant", "id", "#iterations", "speedup vs GPU"], rows,
+        header, rows,
         title=f"sweep [{args.solver}] — {args.platform} grid over "
               f"{len(result.tokens)} variants"))
-    _emit_json(result.to_dict(), args.json_out)
+    payload = result.to_dict()
+    payload["trace_summary"] = (None if result.stats is None
+                                else result.stats.trace_summary())
+    _emit_json(payload, args.json_out)
     return _report_failures(result.failures)
+
+
+def _tols_arg(text: str) -> tuple:
+    try:
+        return tuple(float(s) for s in _split_csv(text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"tols must be comma-separated floats, got {text!r}") from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.api.faults import use_fault_plan
+    from repro.experiments.common import clear_run_caches
+    from repro.service import SolveService
+
+    config = _run_config(args)
+    with use_fault_plan(args.fault or None):
+        service = SolveService(host=args.host, port=args.port, config=config)
+        host, port = service.address
+        # The smoke harness (and humans) parse this line for the bound
+        # ephemeral port; keep its shape stable.
+        print(f"listening on http://{host}:{port}", flush=True)
+
+        def _stop(signum, frame) -> None:
+            # shutdown() blocks until serve_forever exits; the handler
+            # runs *inside* serve_forever's thread, so hand it off.
+            threading.Thread(target=service.shutdown, daemon=True).start()
+
+        previous = {sig: signal.signal(sig, _stop)
+                    for sig in (signal.SIGINT, signal.SIGTERM)}
+        try:
+            service.serve_forever()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            stats = service.stats()
+            service.close()
+            # Reap the persistent process pool (if the engine ever built
+            # one) so the daemon exits promptly instead of waiting on
+            # worker processes at interpreter shutdown.
+            clear_run_caches()
+    _emit_json(stats, args.json_out)
+    sys.stderr.write(
+        f"served {stats['service']['requests']} request(s), "
+        f"{stats['service']['coalesced_batches']} coalesced batch(es)\n")
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -351,12 +437,75 @@ def _api_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--resume", action="store_true",
                             help="replay the journal first and solve only "
                                  "the missing cells (requires --journal)")
+        parser.add_argument("--tols", type=_tols_arg, default=None,
+                            metavar="T1,T2,...",
+                            help="convergence-tolerance axis: run the whole "
+                                 "grid once per tolerance (e.g. "
+                                 "1e-6,1e-8,1e-10), with the resolved "
+                                 "criterion stamped into every cell")
         parser.set_defaults(func=_cmd_sweep)
     elif command == "solve":
         parser.add_argument("--sid", type=int, required=True,
                             help="suite matrix id (Table V)")
         _add_run_flags(parser)
+        parser.add_argument("--remote", default=None, metavar="HOST:PORT",
+                            help="solve on a running solve-service daemon "
+                                 "instead of in-process (see 'serve')")
+        parser.add_argument("--retries", type=int, default=None, metavar="N",
+                            help="with --remote: transport retries "
+                                 "(default: REPRO_REQUEST_RETRIES or 0)")
+        parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECS",
+                            help="with --remote: socket timeout (default: "
+                                 "REPRO_REQUEST_TIMEOUT or none)")
+        parser.add_argument("--backoff", type=float, default=None,
+                            metavar="SECS",
+                            help="with --remote: retry backoff base "
+                                 "(default: REPRO_RETRY_BACKOFF or 0)")
         parser.set_defaults(func=_cmd_solve)
+    elif command == "serve":
+        parser.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default: 127.0.0.1)")
+        parser.add_argument("--port", type=int, default=0,
+                            help="bind port (default: 0 = ephemeral; the "
+                                 "bound port is printed on startup)")
+        parser.add_argument("--workers", type=int, default=None,
+                            help="engine fan-out width per batch")
+        parser.add_argument("--executor", choices=["thread", "process"],
+                            default=None, help="engine executor")
+        parser.add_argument("--store", default=None, metavar="PATH",
+                            help="asset-store root served over the remote "
+                                 "store protocol (default: "
+                                 "REPRO_ASSET_STORE)")
+        parser.add_argument("--batch-window", dest="batch_window",
+                            type=float, default=None, metavar="SECS",
+                            help="coalescing window (default: "
+                                 "REPRO_SERVICE_BATCH_WINDOW or 0.05)")
+        parser.add_argument("--batch-max", dest="batch_max", type=int,
+                            default=None, metavar="N",
+                            help="max coalesced batch size (default: "
+                                 "REPRO_SERVICE_BATCH_MAX or 8)")
+        parser.add_argument("--no-coalesce", dest="no_coalesce",
+                            action="store_true",
+                            help="disable request coalescing (every "
+                                 "request becomes its own batch)")
+        parser.add_argument("--retries", type=int, default=None, metavar="N",
+                            help="engine retries per failed request")
+        parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECS",
+                            help="engine per-request timeout")
+        parser.add_argument("--backoff", type=float, default=None,
+                            metavar="SECS", help="engine retry backoff base")
+        parser.add_argument("--fault", action="append", default=None,
+                            metavar="TOKEN",
+                            help="inject a deterministic fault for drills "
+                                 "(repeatable), e.g. "
+                                 "'crash@attempt=1,sid=2257'")
+        parser.add_argument("--json", dest="json_out", metavar="OUT",
+                            default=None,
+                            help="write the final service stats as JSON to "
+                                 "OUT on shutdown, '-' for stdout")
+        parser.set_defaults(func=_cmd_serve)
     else:  # store
         parser.add_argument("--store", default=None, metavar="PATH",
                             help="store root (default: REPRO_ASSET_STORE)")
@@ -390,11 +539,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a table/figure of the ReFloat paper, or "
-                    "run declarative jobs (suite/solve/sweep) and store "
-                    "maintenance (store).")
+                    "run declarative jobs (suite/solve/sweep), store "
+                    "maintenance (store), or the solve service (serve).")
     parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"],
                         help="experiment to run (or: suite, solve, sweep, "
-                             "store)")
+                             "store, serve)")
     parser.add_argument("--scale", choices=["test", "default", "paper"],
                         default=None,
                         help="matrix scale (default: 'default', or 'paper' "

@@ -72,6 +72,7 @@ from __future__ import annotations
 import atexit
 import math
 import os
+import signal
 import threading
 import time
 from collections import OrderedDict, deque
@@ -84,7 +85,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -130,6 +131,7 @@ __all__ = [
     "asset_cache_stats",
     "default_spec_for",
     "matrix_assets",
+    "platform_operator",
     "run_matrix",
     "run_request",
     "run_spec",
@@ -224,6 +226,21 @@ def _pool_token(workers: int) -> tuple:
             VARIANT_FAMILIES.generation, _registry_pool_stamp())
 
 
+def _pool_worker_init() -> None:
+    """Restore default signal dispositions in pool workers.
+
+    Workers fork from the parent and inherit its signal handlers.  A
+    parent that traps SIGTERM for graceful shutdown (the solve-service
+    daemon does) would otherwise make its workers unkillable by
+    ``Process.terminate()``: the inherited handler swallows the signal,
+    and ``concurrent.futures``' broken-pool cleanup then joins the
+    immortal worker forever.  Workers must die on SIGTERM and leave
+    SIGINT to the parent's orchestration.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.default_int_handler)
+
+
 def _process_pool(workers: int) -> ProcessPoolExecutor:
     """The shared pool, recreated when the width or store config changes."""
     global _PROCESS_POOL, _PROCESS_POOL_TOKEN, _PROCESS_POOL_OWNER
@@ -232,7 +249,8 @@ def _process_pool(workers: int) -> ProcessPoolExecutor:
         if _PROCESS_POOL is None or _PROCESS_POOL_TOKEN != token:
             if _PROCESS_POOL is not None and _PROCESS_POOL_OWNER == os.getpid():
                 _PROCESS_POOL.shutdown(wait=False)
-            _PROCESS_POOL = ProcessPoolExecutor(max_workers=workers)
+            _PROCESS_POOL = ProcessPoolExecutor(
+                max_workers=workers, initializer=_pool_worker_init)
             _PROCESS_POOL_TOKEN = token
             _PROCESS_POOL_OWNER = os.getpid()
         return _PROCESS_POOL
@@ -661,6 +679,44 @@ class ExecutionStats:
             "journal_skipped": self.journal_skipped,
         }
 
+    def trace_summary(self) -> Optional[Dict[str, Any]]:
+        """Aggregate view of the scheduler trace, safe to serialise.
+
+        Summarises the per-node timing record into what latency work needs
+        as an offline baseline: how many nodes the graph had, how many were
+        actually dispatched, the peak number simultaneously in flight (the
+        scheduler's achieved concurrency / max queue depth), and the wall
+        span from first dispatch to last finish.  Unlike ``trace`` itself
+        this is deliberately *not* part of :meth:`to_dict` — the CLI emits
+        it as a separate top-level key so the serialised stats stay
+        byte-identical across executors (the CI equivalence gate strips
+        the summary, whose wall span is wall-clock, before comparing).
+        ``None`` when no trace was recorded (e.g. a run-cache hit).
+        """
+        if not self.trace:
+            return None
+        spans = []
+        for node in self.trace.values():
+            start = node.get("first_dispatch")
+            if start is None:
+                continue
+            end = node.get("finished")
+            spans.append((float(start),
+                          float(end) if end is not None else float(start)))
+        if not spans:
+            return {"nodes": len(self.trace), "executed": 0,
+                    "max_inflight": 0, "wall_span_s": 0.0}
+        events = sorted([(s, 1) for s, _ in spans]
+                        + [(e, -1) for _, e in spans],
+                        key=lambda ev: (ev[0], ev[1]))
+        peak = depth = 0
+        for _, delta in events:
+            depth += delta
+            peak = max(peak, depth)
+        wall = max(e for _, e in spans) - min(s for s, _ in spans)
+        return {"nodes": len(self.trace), "executed": len(spans),
+                "max_inflight": peak, "wall_span_s": round(wall, 6)}
+
 
 class SuiteResult(dict):
     """``{sid: MatrixRun}`` plus fault-tolerance metadata.
@@ -756,6 +812,46 @@ def run_request(request: RunRequest, attempt: int = 1) -> MatrixRun:
     faults.consult("result", sid=request.sid, solver=request.solver,
                    attempt=attempt)
     return run
+
+
+def platform_operator(sid: int, scale: Optional[str] = None,
+                      platform: str = "refloat", solver: str = "cg",
+                      feinberg_spec: FeinbergSpec = FeinbergSpec(),
+                      ) -> Tuple["MatrixAssets", Any]:
+    """Build one platform's solve operator for a suite matrix.
+
+    The single-platform slice of :func:`run_matrix`'s setup — the solve
+    service uses it to construct the shared operator a coalesced lockstep
+    batch iterates with.  Returns ``(assets, operator)``; the assets come
+    from the shared :func:`matrix_assets` cache, so repeated batches on the
+    same ``(sid, scale)`` pay the quantisation exactly once.  Platforms
+    that reuse another's results (``results_from``, e.g. ``feinberg_fc``)
+    have no operator of their own and are refused with a named error, as
+    are multi-RHS solver names (the context carries a single-RHS solver's
+    per-iteration shape).
+    """
+    sspec = SOLVER_REGISTRY.get(solver)
+    if sspec.multi_rhs:
+        raise ValueError(
+            f"solver {solver!r} is a multi-RHS (batched) solver; "
+            f"platform_operator describes single-RHS solves")
+    scale = resolve_scale(scale)
+    ensure_variant_platforms((platform,))
+    pspec = PLATFORM_REGISTRY.get(platform)
+    if pspec.operator is None:
+        raise ValueError(
+            f"platform {platform!r} reuses {pspec.results_from!r}'s results "
+            f"and has no operator of its own")
+    assets = matrix_assets(sid, scale)
+    n = assets.A.shape[0]
+    ctx = PlatformContext(
+        sid=sid, scale=scale, solver=solver, n_rows=n,
+        nnz=int(assets.A.nnz), n_blocks=assets.blocked.n_blocks,
+        spec=assets.spec, feinberg_spec=feinberg_spec,
+        spmvs_per_iteration=sspec.spmvs_per_iteration,
+        vector_ops_per_iteration=sspec.vector_ops_per_iteration,
+        gpu_vector_kernels_per_iteration=sspec.gpu_vector_kernels)
+    return assets, pspec.operator(assets, ctx)
 
 
 def _suite_workers(n_tasks: int) -> int:
@@ -1204,6 +1300,7 @@ def _execute_requests(requests: List[RunRequest], workers: int,
                       on_result: Optional[Callable[[RunRequest, MatrixRun],
                                                    None]] = None,
                       edges: Iterable[Tuple[str, str]] = (),
+                      serial_fallback: bool = True,
                       ) -> Tuple[Dict[str, MatrixRun],
                                  List[RunFailure], ExecutionStats]:
     """Compile a batch of :class:`RunRequest`\\ s into a task graph and run it.
@@ -1233,9 +1330,16 @@ def _execute_requests(requests: List[RunRequest], workers: int,
     ``stats`` the :class:`ExecutionStats` counters with the scheduler's
     per-node timing trace.  ``on_result(request, run)`` fires in the
     parent as each solve completes — the sweep journal's append hook.
+
+    ``serial_fallback=False`` forces the pooled engine even for a single
+    request or a single worker.  The solve-service daemon needs this on
+    the process executor: an inline ``run_request`` would run injected
+    crash faults (and any hard worker death they emulate) *in the daemon
+    process*, forfeiting exactly the isolation the process executor was
+    chosen for.
     """
     _check_on_error(on_error)
-    serial = workers <= 1 or len(requests) <= 1
+    serial = serial_fallback and (workers <= 1 or len(requests) <= 1)
     prewarm = (_prewarm_plan(requests)
                if not serial and executor == "process" else ())
     graph = compile_solve_graph(requests, edges=edges, assets=prewarm)
@@ -1355,17 +1459,20 @@ class SweepResult:
 
     ``runs[(solver, token)][sid]`` is a :class:`MatrixRun` whose results
     hold the variant *and* the grafted baseline platforms, so
-    ``run.speedup(token)`` works exactly as in a suite run.  ``params``
-    maps each token back to its grid point.  ``failures``/``stats`` carry
-    the engine's fault-tolerance metadata exactly as on
-    :class:`SuiteResult` — under ``on_error="collect"``, cells whose
-    request failed are simply absent from their ``runs`` dict.
+    ``run.speedup(token)`` works exactly as in a suite run.  With a
+    tolerance axis (``spec.tols``), run keys grow a trailing element —
+    ``runs[(solver, token, tol)][sid]`` — and :meth:`variant` takes the
+    tolerance to select.  ``params`` maps each token back to its grid
+    point.  ``failures``/``stats`` carry the engine's fault-tolerance
+    metadata exactly as on :class:`SuiteResult` — under
+    ``on_error="collect"``, cells whose request failed are simply absent
+    from their ``runs`` dict.
     """
 
     spec: SweepSpec
     scale: str
     criterion: ConvergenceCriterion
-    runs: Dict[Tuple[str, str], Dict[int, MatrixRun]]
+    runs: Dict[Tuple[str, ...], Dict[int, MatrixRun]]
     params: Dict[str, Dict[str, Any]]
     failures: Tuple[RunFailure, ...] = ()
     stats: Optional[ExecutionStats] = None
@@ -1381,27 +1488,48 @@ class SweepResult:
         return tuple(first)
 
     def variant(self, token: str, solver: Optional[str] = None,
-                ) -> Dict[int, MatrixRun]:
-        """All matrix runs of one variant (default: the first solver axis)."""
-        return self.runs[(solver or self.spec.solvers[0], token)]
+                tol: Optional[float] = None) -> Dict[int, MatrixRun]:
+        """All matrix runs of one variant (default: the first solver axis;
+        with a tolerance axis, the first tolerance unless ``tol`` picks
+        another)."""
+        key: Tuple[str, ...] = (solver or self.spec.solvers[0], token)
+        if self.spec.tols is not None:
+            key += (float(tol if tol is not None else self.spec.tols[0]),)
+        return self.runs[key]
+
+    def _cell_dict(self, solver: str, token: str,
+                   tol: Optional[float]) -> Dict[str, Any]:
+        return {str(sid): run.to_dict()
+                for sid, run in self.variant(token, solver, tol).items()}
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe summary: spec + per-variant, per-solver, per-sid runs."""
+        """JSON-safe summary: spec + per-variant, per-solver, per-sid runs.
+
+        Without a tolerance axis the shape is the historical one (byte
+        identical to earlier releases); with one, each variant gains a
+        ``"tols"`` level keyed by the canonical float spelling.
+        """
+        from repro.api.sweep import _format_value
+
+        def solvers_dict(tol: Optional[float], token: str) -> Dict[str, Any]:
+            return {solver: self._cell_dict(solver, token, tol)
+                    for solver in self.spec.solvers}
+
+        variants: Dict[str, Any] = {}
+        for token, params in self.params.items():
+            entry: Dict[str, Any] = {"params": dict(params)}
+            if self.spec.tols is None:
+                entry["solvers"] = solvers_dict(None, token)
+            else:
+                entry["tols"] = {
+                    _format_value(float(tol)): {
+                        "solvers": solvers_dict(tol, token)}
+                    for tol in self.spec.tols}
+            variants[token] = entry
         return {
             "spec": self.spec.to_dict(),
             "scale": self.scale,
-            "variants": {
-                token: {
-                    "params": dict(params),
-                    "solvers": {
-                        solver: {str(sid): run.to_dict()
-                                 for sid, run in
-                                 self.runs[(solver, token)].items()}
-                        for solver in self.spec.solvers
-                    },
-                }
-                for token, params in self.params.items()
-            },
+            "variants": variants,
             "failures": [f.to_dict() for f in self.failures],
             "stats": None if self.stats is None else self.stats.to_dict(),
         }
@@ -1482,6 +1610,12 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     ids = _check_sids(spec.sids)
     crit = (criterion if criterion is not None
             else api_config.active().effective_criterion)
+    # The tolerance axis: each tol re-runs the grid under the base
+    # criterion with its tol replaced.  The per-cell criterion is stamped
+    # into every RunRequest below, so request keys — and therefore journal
+    # records and engine caching — distinguish the tolerance cells.
+    crits = (tuple(replace(crit, tol=t) for t in spec.tols)
+             if spec.tols else (crit,))
     swept = baseline + tuple(token for token, _ in variants)
     key = ("sweep", spec, scale, crit,
            PLATFORM_REGISTRY.versions(swept),
@@ -1492,18 +1626,19 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
         if cached is not None:
             return cached
 
-    def request(solver: str, platforms: Tuple[str, ...],
-                sid: int) -> RunRequest:
+    def request(solver: str, platforms: Tuple[str, ...], sid: int,
+                c: ConvergenceCriterion = crit) -> RunRequest:
         return RunRequest(sid=sid, solver=solver, scale=scale,
-                          platforms=platforms, criterion=crit)
+                          platforms=platforms, criterion=c)
 
     requests = []
-    if baseline:
-        requests += [request(solver, baseline, sid)
-                     for solver in spec.solvers for sid in ids]
-    requests += [request(solver, (token,), sid)
-                 for solver in spec.solvers
-                 for token, _ in variants for sid in ids]
+    for c in crits:
+        if baseline:
+            requests += [request(solver, baseline, sid, c)
+                         for solver in spec.solvers for sid in ids]
+        requests += [request(solver, (token,), sid, c)
+                     for solver in spec.solvers
+                     for token, _ in variants for sid in ids]
 
     jr = None
     journaled: Dict[str, MatrixRun] = {}
@@ -1526,15 +1661,16 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     edges: List[Tuple[str, str]] = []
     if baseline:
         to_run_keys = {req.key() for req in to_run}
-        for solver in spec.solvers:
-            for sid in ids:
-                bkey = request(solver, baseline, sid).key()
-                if bkey not in to_run_keys:
-                    continue
-                for token, _ in variants:
-                    vkey = request(solver, (token,), sid).key()
-                    if vkey in to_run_keys and vkey != bkey:
-                        edges.append((vkey, bkey))
+        for c in crits:
+            for solver in spec.solvers:
+                for sid in ids:
+                    bkey = request(solver, baseline, sid, c).key()
+                    if bkey not in to_run_keys:
+                        continue
+                    for token, _ in variants:
+                        vkey = request(solver, (token,), sid, c).key()
+                        if vkey in to_run_keys and vkey != bkey:
+                            edges.append((vkey, bkey))
     workers = (max_workers if max_workers is not None
                else _suite_workers(len(to_run) or 1))
     if jr is not None:
@@ -1554,20 +1690,26 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     stats.journal_skipped = len(requests) - len(to_run)
     by_key: Dict[str, MatrixRun] = dict(journaled)
     by_key.update(results)
-    runs: Dict[Tuple[str, str], Dict[int, MatrixRun]] = {}
-    for solver in spec.solvers:
-        for token, _ in variants:
-            cell = {}
-            for sid in ids:
-                vrun = by_key.get(request(solver, (token,), sid).key())
-                if vrun is None:
-                    continue  # failed cell under on_error="collect"
-                if baseline:
-                    brun = by_key.get(request(solver, baseline, sid).key())
-                    if brun is not None:
-                        vrun = _graft_baseline(vrun, brun)
-                cell[sid] = vrun
-            runs[(solver, token)] = cell
+    # Without a tolerance axis the run keys stay the historical
+    # (solver, token) pairs; with one they grow a trailing tol element.
+    runs: Dict[Tuple[str, ...], Dict[int, MatrixRun]] = {}
+    for c in crits:
+        for solver in spec.solvers:
+            for token, _ in variants:
+                cell = {}
+                for sid in ids:
+                    vrun = by_key.get(request(solver, (token,), sid, c).key())
+                    if vrun is None:
+                        continue  # failed cell under on_error="collect"
+                    if baseline:
+                        brun = by_key.get(
+                            request(solver, baseline, sid, c).key())
+                        if brun is not None:
+                            vrun = _graft_baseline(vrun, brun)
+                    cell[sid] = vrun
+                rkey = ((solver, token) if spec.tols is None
+                        else (solver, token, float(c.tol)))
+                runs[rkey] = cell
     result = SweepResult(spec=spec, scale=scale, criterion=crit, runs=runs,
                          params={token: params for token, params in variants},
                          failures=tuple(failures), stats=stats)

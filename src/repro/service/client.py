@@ -1,0 +1,177 @@
+"""The client half of the solve service (stdlib ``http.client`` only).
+
+:class:`ServiceClient` speaks the daemon's JSON wire protocol and reuses
+the :class:`~repro.api.config.RunConfig` fault-tolerance knobs: network
+errors and 5xx responses retry ``retries`` times with the same
+deterministic exponential backoff the run engine uses
+(``backoff * 2**(n-1)`` seconds before retry ``n``), under the per-request
+``timeout``.  Solve *failures* — the daemon ran the request and it failed —
+do not retry here: the daemon's own engine already applied the retry
+policy; they surface as :class:`ServiceError` with the structured failure
+record attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api import config as api_config
+from repro.api.specs import RunRequest
+from repro.service.jobs import VectorJob
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service could not be reached, or it reported a failure.
+
+    ``failure`` carries the daemon's structured
+    :class:`~repro.api.faults.RunFailure` record (as a dict) when the
+    request executed and failed; ``status`` the HTTP status when one was
+    received.
+    """
+
+    def __init__(self, message: str,
+                 failure: Optional[Dict[str, Any]] = None,
+                 status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.failure = failure
+        self.status = status
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``host:port`` or ``http://host:port`` -> ``(host, port)``."""
+    text = address.strip()
+    if text.startswith(("http://", "https://")):
+        text = text.split("://", 1)[1]
+    text = text.rstrip("/")
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"service address must look like host:port, got {address!r}")
+    return host, int(port)
+
+
+class ServiceClient:
+    """A thin, connection-per-request client for one solve-service daemon."""
+
+    def __init__(self, address: str, timeout: Optional[float] = None,
+                 retries: int = 0, backoff: float = 0.0) -> None:
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+
+    @classmethod
+    def from_config(cls, address: str,
+                    config: Optional["api_config.RunConfig"] = None,
+                    ) -> "ServiceClient":
+        """A client wired to the config's retry/backoff/timeout knobs."""
+        cfg = config if config is not None else api_config.active()
+        return cls(address, timeout=cfg.request_timeout,
+                   retries=cfg.request_retries, backoff=cfg.retry_backoff)
+
+    # -- transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json",
+                 ) -> Tuple[int, bytes]:
+        attempts = self.retries + 1
+        last: Optional[BaseException] = None
+        for attempt in range(1, attempts + 1):
+            conn = None
+            try:
+                conn = http.client.HTTPConnection(self.host, self.port,
+                                                  timeout=self.timeout)
+                headers = {"Content-Type": content_type} if body else {}
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                data = resp.read()
+                status = resp.status
+            except (OSError, http.client.HTTPException) as exc:
+                last = exc
+                if attempt < attempts:
+                    time.sleep(self.backoff * 2 ** (attempt - 1))
+                    continue
+                raise ServiceError(
+                    f"cannot reach solve service at "
+                    f"{self.host}:{self.port}: {exc}") from exc
+            finally:
+                if conn is not None:
+                    conn.close()
+            if status >= 500 and attempt < attempts:
+                time.sleep(self.backoff * 2 ** (attempt - 1))
+                continue
+            return status, data
+        raise ServiceError(  # pragma: no cover - loop always returns/raises
+            f"cannot reach solve service at {self.host}:{self.port}: {last}")
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None,
+              ) -> Tuple[int, Dict[str, Any]]:
+        body = (None if payload is None
+                else json.dumps(payload, sort_keys=True).encode("utf-8"))
+        status, data = self._request(method, path, body)
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"malformed response from {self.host}:{self.port} "
+                f"({status}): {exc}", status=status) from None
+        return status, decoded
+
+    # -- API -------------------------------------------------------------
+
+    def solve(self, request: RunRequest) -> Dict[str, Any]:
+        """Run one :class:`RunRequest` remotely; returns the run dict.
+
+        The dict is exactly ``MatrixRun.to_dict()`` as the daemon's engine
+        produced it (revive with ``MatrixRun.from_dict`` for the accessor
+        methods).  A structured engine failure raises :class:`ServiceError`
+        with ``failure`` attached.
+        """
+        status, payload = self._json("POST", "/v1/solve", request.to_dict())
+        if status != 200 or payload.get("error"):
+            raise ServiceError(
+                f"solve failed ({status}): {payload.get('error', payload)}",
+                status=status)
+        failure = payload.get("failure")
+        if failure is not None:
+            raise ServiceError(
+                f"solve failed [{failure.get('phase')}]: "
+                f"{failure.get('error_type')}: {failure.get('message')}",
+                failure=failure, status=status)
+        return payload["run"]
+
+    def solve_vector(self, job: VectorJob) -> Dict[str, Any]:
+        """Solve one right-hand side remotely; returns the result dict
+        (``x``, ``converged``, ``iterations``, ``residual_norm``,
+        ``matvecs``, ``batch`` — the coalesced batch it rode in)."""
+        status, payload = self._json("POST", "/v1/solve", job.to_dict())
+        if status != 200 or payload.get("error"):
+            raise ServiceError(
+                f"vector solve failed ({status}): "
+                f"{payload.get('error', payload)}", status=status)
+        return payload["result"]
+
+    def stats(self) -> Dict[str, Any]:
+        status, payload = self._json("GET", "/v1/stats")
+        if status != 200:
+            raise ServiceError(f"stats failed ({status})", status=status)
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        status, payload = self._json("GET", "/v1/health")
+        if status != 200:
+            raise ServiceError(f"health failed ({status})", status=status)
+        return payload
+
+    def shutdown(self) -> None:
+        """Ask the daemon to exit cleanly (it finishes in-flight work)."""
+        status, payload = self._json("POST", "/v1/shutdown")
+        if status != 200:
+            raise ServiceError(f"shutdown failed ({status})", status=status)

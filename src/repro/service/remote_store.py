@@ -1,0 +1,169 @@
+"""Client half of the remote store protocol: fetch/publish over the wire.
+
+Worker hosts that don't share a filesystem with the fleet point
+``REPRO_SERVICE_STORE`` at a solve-service daemon; their *local* store root
+(``REPRO_ASSET_STORE``) becomes a per-host cache in front of it.  On a
+local miss, :func:`fetch_entry` GETs the CRC-framed entry
+(:mod:`repro.service.wire`), verifies it, and installs it atomically into
+the local root exactly like a local :func:`~repro.experiments.store.
+save_entry` publish; freshly built entries are pushed back with
+:func:`publish_entry` so the next cold host fetches instead of rebuilding.
+
+Failure policy mirrors the local store's transient-error handling: *every*
+network, HTTP, framing or filesystem problem degrades to ``False`` — a
+plain miss, after which the caller rebuilds locally — never an exception
+into the solve path.  The per-process counters record what happened.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import shutil
+import tempfile
+import threading
+import urllib.parse
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.service.wire import WireError, pack_entry, unpack_entry
+
+__all__ = ["DEFAULT_TIMEOUT", "counters", "fetch_entry", "publish_entry",
+           "reset_counters"]
+
+#: Socket timeout for store transfers, seconds.  Deliberately generous —
+#: entries are tens of MB at paper scale — but finite: a hung daemon must
+#: degrade to a local rebuild, not a stuck worker.
+DEFAULT_TIMEOUT = 30.0
+
+_COUNTER_LOCK = threading.Lock()
+
+
+def _reset_counter_dict() -> Dict[str, int]:
+    return {"fetches": 0, "fetch_hits": 0, "fetch_misses": 0,
+            "fetch_errors": 0, "publishes": 0, "publish_errors": 0}
+
+
+_COUNTERS: Dict[str, int] = _reset_counter_dict()
+
+
+def _bump(name: str) -> None:
+    with _COUNTER_LOCK:
+        _COUNTERS[name] += 1
+
+
+def counters() -> Dict[str, int]:
+    """Snapshot of the per-process remote-store counters."""
+    with _COUNTER_LOCK:
+        return dict(_COUNTERS)
+
+
+def reset_counters() -> None:
+    global _COUNTERS
+    with _COUNTER_LOCK:
+        _COUNTERS = _reset_counter_dict()
+
+
+def _connect(base_url: str, timeout: float,
+             ) -> Tuple[http.client.HTTPConnection, str]:
+    parts = urllib.parse.urlsplit(base_url)
+    if parts.scheme == "https":
+        conn: http.client.HTTPConnection = http.client.HTTPSConnection(
+            parts.hostname, parts.port or 443, timeout=timeout)
+    else:
+        conn = http.client.HTTPConnection(parts.hostname, parts.port or 80,
+                                          timeout=timeout)
+    return conn, parts.path.rstrip("/")
+
+
+def fetch_entry(base_url: str, sid: int, scale: str, root: Path,
+                timeout: float = DEFAULT_TIMEOUT) -> bool:
+    """Fetch ``(sid, scale)`` from the remote store into local ``root``.
+
+    Returns ``True`` when the entry is installed (or a concurrent fetch
+    won the publish race — the entry is there either way), ``False`` on
+    remote miss or any error.  Never raises.
+    """
+    from repro.experiments.store import entry_path
+
+    _bump("fetches")
+    conn = None
+    try:
+        conn, prefix = _connect(base_url, timeout)
+        conn.request("GET", f"{prefix}/v1/store/{int(sid)}/{scale}")
+        resp = conn.getresponse()
+        data = resp.read()
+        status = resp.status
+    except (OSError, http.client.HTTPException, ValueError):
+        _bump("fetch_errors")
+        return False
+    finally:
+        if conn is not None:
+            conn.close()
+    if status == 404:
+        _bump("fetch_misses")
+        return False
+    if status != 200:
+        _bump("fetch_errors")
+        return False
+    final = entry_path(sid, scale, Path(root))
+    tmp = None
+    try:
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(prefix=final.name + ".fetch-",
+                                    dir=final.parent))
+        meta = unpack_entry(data, tmp)
+        if meta.get("sid") != int(sid) or meta.get("scale") != scale:
+            raise WireError("fetched entry is for a different key")
+        os.rename(tmp, final)
+    except WireError:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+        _bump("fetch_errors")
+        return False
+    except OSError:
+        # Lost an install race, or local disk trouble: either way the
+        # caller re-checks the local entry next.
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+        if (final / "meta.json").is_file():
+            _bump("fetch_hits")
+            return True
+        _bump("fetch_errors")
+        return False
+    _bump("fetch_hits")
+    return True
+
+
+def publish_entry(base_url: str, sid: int, scale: str, path: Path,
+                  timeout: float = DEFAULT_TIMEOUT) -> bool:
+    """PUT the local entry directory at ``path`` to the remote store.
+
+    Best-effort: ``True`` on a 2xx response, ``False`` on anything else.
+    Never raises — publishing is an optimisation for the *next* host, and
+    this host's solve must proceed regardless.
+    """
+    _bump("publishes")
+    try:
+        payload = pack_entry(Path(path))
+    except WireError:
+        _bump("publish_errors")
+        return False
+    conn = None
+    try:
+        conn, prefix = _connect(base_url, timeout)
+        conn.request("PUT", f"{prefix}/v1/store/{int(sid)}/{scale}",
+                     body=payload,
+                     headers={"Content-Type": "application/octet-stream"})
+        resp = conn.getresponse()
+        resp.read()
+        ok = 200 <= resp.status < 300
+    except (OSError, http.client.HTTPException, ValueError):
+        _bump("publish_errors")
+        return False
+    finally:
+        if conn is not None:
+            conn.close()
+    if not ok:
+        _bump("publish_errors")
+    return ok

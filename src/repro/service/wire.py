@@ -1,0 +1,127 @@
+"""CRC-checked wire framing for v2 asset-store entries.
+
+One entry travels as a single self-describing blob::
+
+    b"RPRS1\\n"                     magic + framing version
+    8-byte big-endian header length
+    header JSON                     {"type", "version", "meta", "files"}
+    concatenated raw file bytes     in header order
+
+``meta`` is the entry's ``meta.json`` dict verbatim (same versioned v2 BSR
+layout — the receiver's ordinary :func:`repro.experiments.store.load_entry`
+validation applies unchanged after unpack); ``files`` lists each ``.npy``
+payload with its byte length and a CRC32 computed over the bytes actually
+framed.  :func:`unpack_entry` verifies the magic, lengths and every CRC —
+on the array files *twice*, against the wire header and against the meta's
+own per-array checksums — before anything is written, so a truncated or
+tampered payload degrades to a named :class:`WireError` (the remote-store
+caller treats it as a miss and rebuilds), never a corrupt install and never
+a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Any, Dict
+
+__all__ = ["WireError", "pack_entry", "unpack_entry"]
+
+MAGIC = b"RPRS1\n"
+_WIRE_TYPE = "StoreEntryWire"
+_WIRE_VERSION = 1
+
+
+class WireError(Exception):
+    """The payload is not a valid store-entry frame (truncated, tampered,
+    or version-skewed).  Always a miss, never a crash."""
+
+
+def pack_entry(path: Path) -> bytes:
+    """Frame the published store entry at ``path`` for the wire.
+
+    Reads ``meta.json`` plus every array file it names; raises
+    :class:`WireError` if the on-disk entry is incomplete (a torn entry
+    must not be replicated).
+    """
+    path = Path(path)
+    try:
+        with open(path / "meta.json") as fh:
+            meta = json.load(fh)
+        names = sorted(meta["arrays"])
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        raise WireError(f"unreadable entry at {path}: {exc}") from None
+    files = []
+    blobs = []
+    for name in names:
+        try:
+            blob = (path / f"{name}.npy").read_bytes()
+        except OSError as exc:
+            raise WireError(
+                f"unreadable array {name!r} in {path}: {exc}") from None
+        files.append({"name": name, "nbytes": len(blob),
+                      "crc32": zlib.crc32(blob)})
+        blobs.append(blob)
+    header = json.dumps({"type": _WIRE_TYPE, "version": _WIRE_VERSION,
+                         "meta": meta, "files": files},
+                        sort_keys=True).encode("utf-8")
+    return b"".join([MAGIC, len(header).to_bytes(8, "big"), header] + blobs)
+
+
+def unpack_entry(data: bytes, dest: Path) -> Dict[str, Any]:
+    """Verify a framed entry and write its files into directory ``dest``.
+
+    ``dest`` should be a private temporary directory — the caller publishes
+    it atomically (``os.rename``) after this returns, exactly like a local
+    :func:`~repro.experiments.store.save_entry`.  Returns the entry's meta
+    dict.  Raises :class:`WireError` on any structural or checksum problem
+    *before* writing a single file.
+    """
+    base = len(MAGIC) + 8
+    if len(data) < base or not data.startswith(MAGIC):
+        raise WireError("not a store-entry frame (bad magic)")
+    header_len = int.from_bytes(data[len(MAGIC):base], "big")
+    if len(data) < base + header_len:
+        raise WireError("truncated frame header")
+    try:
+        header = json.loads(data[base:base + header_len].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"malformed frame header: {exc}") from None
+    try:
+        if (header["type"] != _WIRE_TYPE
+                or header["version"] != _WIRE_VERSION):
+            raise WireError("frame type/version mismatch")
+        meta = header["meta"]
+        files = header["files"]
+        meta_crcs = {name: spec["crc32"]
+                     for name, spec in meta["arrays"].items()}
+        if sorted(meta_crcs) != sorted(f["name"] for f in files):
+            raise WireError("frame file list disagrees with meta arrays")
+        offset = base + header_len
+        blobs = {}
+        for spec in files:
+            name, nbytes = spec["name"], int(spec["nbytes"])
+            blob = data[offset:offset + nbytes]
+            offset += nbytes
+            if len(blob) != nbytes:
+                raise WireError(f"truncated payload for array {name!r}")
+            crc = zlib.crc32(blob)
+            if crc != spec["crc32"]:
+                raise WireError(f"wire checksum mismatch in {name!r}")
+            if crc != meta_crcs[name]:
+                raise WireError(f"meta checksum mismatch in {name!r}")
+            blobs[name] = blob
+        if offset != len(data):
+            raise WireError(f"{len(data) - offset} trailing bytes in frame")
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed frame: {exc}") from None
+    dest = Path(dest)
+    dest.mkdir(parents=True, exist_ok=True)
+    for name, blob in blobs.items():
+        (dest / f"{name}.npy").write_bytes(blob)
+    with open(dest / "meta.json", "w") as fh:
+        json.dump(meta, fh, indent=1, sort_keys=True)
+    return meta

@@ -13,6 +13,7 @@ from repro.solvers.block_bicgstab import block_bicgstab
 from repro.solvers.block_cg import BlockSolverResult, block_cg, solve_many
 from repro.solvers.cg import cg
 from repro.solvers.gmres import gmres
+from repro.solvers.lockstep import solve_lockstep
 from repro.solvers.precond import (
     ilu_preconditioner,
     jacobi_preconditioner,
@@ -34,6 +35,7 @@ __all__ = [
     "block_cg",
     "cg",
     "gmres",
+    "solve_lockstep",
     "solve_many",
     "ilu_preconditioner",
     "jacobi_preconditioner",

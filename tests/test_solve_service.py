@@ -1,0 +1,474 @@
+"""Tests for the solve service: coalescer, wire protocol, remote store,
+daemon end-to-end.
+
+The coalescer tests pin the grouping contract (same-key concurrent jobs
+merge into one batch, mixed keys never merge, ``coalesce=False`` gives
+singleton batches) and the demux contract (positional results, per-batch
+error propagation).  The wire tests pin the CRC framing: a byte-exact
+round trip, and every corruption mode — truncation, payload tamper,
+header tamper, bad magic — surfaces as :class:`WireError`, never as
+silently-wrong arrays.  The daemon tests run a real HTTP server in
+process: coalesced vector solves come back bit-identical to the serial
+single-RHS path, engine requests come back as the exact local
+``MatrixRun``, and malformed requests fail alone without poisoning the
+batch they rode in.
+"""
+
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, use as use_config
+from repro.api.config import active as active_config
+from repro.api.specs import RunRequest
+from repro.experiments import store
+from repro.experiments.common import (
+    clear_run_caches,
+    matrix_assets,
+    platform_operator,
+    run_request,
+)
+from repro.service import (
+    Coalescer,
+    ServiceClient,
+    ServiceCounters,
+    ServiceError,
+    SolveService,
+    VectorJob,
+    WireError,
+    pack_entry,
+    unpack_entry,
+)
+from repro.service import remote_store
+from repro.service.client import parse_address
+from repro.solvers import cg
+
+
+@pytest.fixture
+def fresh(monkeypatch, tmp_path):
+    """Fresh caches/counters with a tmpdir store configured via env."""
+    monkeypatch.setenv("REPRO_ASSET_STORE", str(tmp_path / "assets"))
+    monkeypatch.delenv("REPRO_SERVICE_STORE", raising=False)
+    clear_run_caches()
+    store.reset_counters()
+    remote_store.reset_counters()
+    yield tmp_path / "assets"
+    clear_run_caches()
+    store.reset_counters()
+    remote_store.reset_counters()
+
+
+def _build_entry(root, sid=2257, scale="test"):
+    """Materialise one real store entry under ``root``; returns its path."""
+    with use_config(RunConfig(store=str(root))):
+        clear_run_caches()
+        matrix_assets(sid, scale)
+        path = store.entry_path(sid, scale, Path(root))
+    clear_run_caches()
+    assert (path / "meta.json").is_file()
+    return path
+
+
+def _entry_bytes(path):
+    out = {}
+    for f in sorted(Path(path).iterdir()):
+        out[f.name] = f.read_bytes()
+    return out
+
+
+@pytest.fixture
+def service():
+    """An in-process daemon with a wide window and max_batch=3, so
+    same-key tests flush deterministically on the size bound."""
+    cfg = RunConfig(service_batch_window=5.0, service_batch_max=3)
+    svc = SolveService(port=0, config=cfg)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    host, port = svc.address
+    client = ServiceClient(f"{host}:{port}", timeout=120.0)
+    yield svc, client
+    svc.close()
+    thread.join(timeout=10)
+    clear_run_caches()
+
+
+class TestVectorJob:
+    def test_round_trip(self):
+        job = VectorJob(sid=2257, scale="test", solver="bicgstab",
+                        rhs=(1.0, 2.5, -3.0))
+        again = VectorJob.from_json(job.to_json())
+        assert again == job
+
+    def test_batch_key_groups_by_identity_not_rhs(self):
+        crit = active_config().effective_criterion
+        a = VectorJob(sid=2257, scale="test", rhs=(1.0, 2.0))
+        b = VectorJob(sid=2257, scale="test", rhs=(9.0, 8.0))
+        c = VectorJob(sid=353, scale="test", rhs=(1.0, 2.0))
+        assert a.batch_key(crit) == b.batch_key(crit)
+        assert a.batch_key(crit) != c.batch_key(crit)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VectorJob(sid=2257, scale="nope")
+        with pytest.raises(ValueError):
+            VectorJob(sid=2257, scale="test", solver="")
+        with pytest.raises(ValueError):
+            VectorJob(sid=2257, scale="test", rhs=())
+
+
+class TestCoalescer:
+    def _collecting_runner(self, batches):
+        def runner(key, jobs):
+            batches.append((key, list(jobs)))
+            return [f"{key}:{job}" for job in jobs]
+        return runner
+
+    def test_same_key_jobs_merge_into_one_batch(self):
+        batches = []
+        counters = ServiceCounters()
+        co = Coalescer(self._collecting_runner(batches), window=5.0,
+                       max_batch=3, counters=counters)
+        try:
+            futs = [co.submit("k", i) for i in range(3)]
+            results = [f.result(timeout=30) for f in futs]
+        finally:
+            co.close()
+        assert len(batches) == 1
+        assert batches[0][1] == [0, 1, 2]
+        assert results == ["k:0", "k:1", "k:2"]  # positional demux
+        snap = counters.to_dict()
+        assert snap["batches"] == 1
+        assert snap["coalesced_batches"] == 1
+        assert snap["max_batch_size"] == 3
+
+    def test_mixed_keys_never_merge(self):
+        batches = []
+        counters = ServiceCounters()
+        co = Coalescer(self._collecting_runner(batches), window=0.05,
+                       max_batch=8, counters=counters)
+        try:
+            fa = co.submit("a", 1)
+            fb = co.submit("b", 2)
+            assert fa.result(timeout=30) == "a:1"
+            assert fb.result(timeout=30) == "b:2"
+        finally:
+            co.close()
+        assert sorted(key for key, _ in batches) == ["a", "b"]
+        assert all(len(jobs) == 1 for _, jobs in batches)
+        assert counters.to_dict()["coalesced_batches"] == 0
+
+    def test_coalesce_off_gives_singleton_batches(self):
+        batches = []
+        co = Coalescer(self._collecting_runner(batches), window=5.0,
+                       max_batch=8, coalesce=False)
+        try:
+            futs = [co.submit("k", i) for i in range(4)]
+            assert [f.result(timeout=30) for f in futs] == [
+                "k:0", "k:1", "k:2", "k:3"]
+        finally:
+            co.close()
+        assert len(batches) == 4
+
+    def test_window_flushes_partial_batch(self):
+        batches = []
+        co = Coalescer(self._collecting_runner(batches), window=0.05,
+                       max_batch=100)
+        try:
+            fut = co.submit("k", 7)
+            assert fut.result(timeout=30) == "k:7"
+        finally:
+            co.close()
+        assert batches == [("k", [7])]
+
+    def test_runner_error_fails_every_future_in_batch(self):
+        def runner(key, jobs):
+            raise RuntimeError("batch exploded")
+
+        co = Coalescer(runner, window=5.0, max_batch=2)
+        try:
+            futs = [co.submit("k", i) for i in range(2)]
+            for fut in futs:
+                with pytest.raises(RuntimeError, match="batch exploded"):
+                    fut.result(timeout=30)
+        finally:
+            co.close()
+
+    def test_closed_coalescer_rejects_submissions(self):
+        co = Coalescer(lambda key, jobs: list(jobs), window=0.01,
+                       max_batch=1)
+        co.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            co.submit("k", 1)
+
+
+class TestWire:
+    def test_round_trip_is_byte_exact(self, fresh, tmp_path):
+        src = _build_entry(fresh)
+        blob = pack_entry(src)
+        dest = tmp_path / "copy"
+        dest.mkdir()
+        meta = unpack_entry(blob, dest)
+        assert meta["sid"] == 2257
+        got = _entry_bytes(dest)
+        want = _entry_bytes(src)
+        assert got.keys() == want.keys()
+        for name in want:
+            if name == "meta.json":  # formatting-normalised, same content
+                assert json.loads(got[name]) == json.loads(want[name])
+            else:
+                assert got[name] == want[name]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        with pytest.raises(WireError, match="magic"):
+            unpack_entry(b"NOPE1\n" + b"\x00" * 64, tmp_path)
+
+    def test_truncated_frame_rejected(self, fresh, tmp_path):
+        blob = pack_entry(_build_entry(fresh))
+        for cut in (len(blob) // 2, len(blob) - 1):
+            dest = tmp_path / f"cut{cut}"
+            dest.mkdir()
+            with pytest.raises(WireError):
+                unpack_entry(blob[:cut], dest)
+            assert not (dest / "meta.json").exists()  # nothing installed
+
+    def test_tampered_payload_rejected(self, fresh, tmp_path):
+        blob = bytearray(pack_entry(_build_entry(fresh)))
+        blob[-1] ^= 0xFF  # flip a bit in the last array's last byte
+        dest = tmp_path / "tampered"
+        dest.mkdir()
+        with pytest.raises(WireError, match="checksum"):
+            unpack_entry(bytes(blob), dest)
+
+    def test_trailing_garbage_rejected(self, fresh, tmp_path):
+        blob = pack_entry(_build_entry(fresh))
+        dest = tmp_path / "trailing"
+        dest.mkdir()
+        with pytest.raises(WireError):
+            unpack_entry(blob + b"extra", dest)
+
+    def test_pack_missing_entry_raises(self, tmp_path):
+        with pytest.raises(WireError):
+            pack_entry(tmp_path / "absent")
+
+
+class TestRemoteStoreProtocol:
+    def test_fetch_installs_bit_identical_entry(self, fresh, tmp_path):
+        src = _build_entry(fresh)
+        cache = tmp_path / "cache"
+        with SolveService(port=0,
+                          config=RunConfig(store=str(fresh))) as svc:
+            thread = threading.Thread(target=svc.serve_forever, daemon=True)
+            thread.start()
+            host, port = svc.address
+            url = f"http://{host}:{port}"
+            assert remote_store.fetch_entry(url, 2257, "test", cache)
+            assert not remote_store.fetch_entry(url, 494, "test", cache)
+            svc.shutdown()
+            thread.join(timeout=10)
+        installed = store.entry_path(2257, "test", cache)
+        got, want = _entry_bytes(installed), _entry_bytes(src)
+        for name in want:
+            if name == "meta.json":
+                assert json.loads(got[name]) == json.loads(want[name])
+            else:
+                assert got[name] == want[name]
+        snap = remote_store.counters()
+        assert snap["fetch_hits"] == 1
+        assert snap["fetch_misses"] == 1
+
+    def test_publish_installs_on_daemon_side(self, fresh, tmp_path):
+        local = tmp_path / "local"
+        src = _build_entry(local, sid=353)
+        with SolveService(port=0,
+                          config=RunConfig(store=str(fresh))) as svc:
+            thread = threading.Thread(target=svc.serve_forever, daemon=True)
+            thread.start()
+            host, port = svc.address
+            url = f"http://{host}:{port}"
+            assert remote_store.publish_entry(url, 353, "test", src)
+            # Re-publishing an existing entry is first-writer-wins, not
+            # an error.
+            assert remote_store.publish_entry(url, 353, "test", src)
+            svc.shutdown()
+            thread.join(timeout=10)
+        installed = store.entry_path(353, "test", Path(str(fresh)))
+        assert (installed / "meta.json").is_file()
+        got, want = _entry_bytes(installed), _entry_bytes(src)
+        assert set(got) == set(want)
+
+    def test_fetch_from_dead_daemon_is_a_plain_miss(self, tmp_path):
+        remote_store.reset_counters()
+        assert not remote_store.fetch_entry("http://127.0.0.1:9",
+                                            2257, "test", tmp_path)
+        assert remote_store.counters()["fetch_errors"] == 1
+
+    def test_load_entry_falls_back_to_remote_then_rebuilds(
+            self, fresh, tmp_path, monkeypatch):
+        """The store's miss path consults the remote hook; a corrupt
+        remote payload degrades to a plain miss and a local rebuild —
+        never a crash, never bad arrays."""
+        calls = []
+
+        def corrupt_fetch(url, sid, scale, root, timeout=None):
+            calls.append((url, sid, scale))
+            final = store.entry_path(sid, scale, Path(root))
+            final.mkdir(parents=True, exist_ok=True)
+            (final / "meta.json").write_text("{ not json")
+            return True
+
+        monkeypatch.setattr(remote_store, "fetch_entry", corrupt_fetch)
+        cfg = RunConfig(store=str(fresh),
+                        service_store="http://127.0.0.1:1")
+        with use_config(cfg):
+            clear_run_caches()
+            assets = matrix_assets(2257, "test")  # rebuilds locally
+        assert calls == [("http://127.0.0.1:1", 2257, "test")]
+        assert assets.A is not None
+        snap = store.counters()
+        assert snap["builds"] >= 1
+
+
+class TestDaemonEndToEnd:
+    def test_coalesced_vector_solves_bit_identical_to_serial(self, service):
+        svc, client = service
+        sid, k = 2257, 3
+        _, op = platform_operator(sid, "test")
+        n = op.shape[0]
+        rng = np.random.default_rng(17)
+        cols = [rng.standard_normal(n) for _ in range(k)]
+        results = [None] * k
+        errors = []
+
+        def worker(i):
+            job = VectorJob(sid=sid, scale="test",
+                            rhs=tuple(float(v) for v in cols[i]))
+            try:
+                results[i] = client.solve_vector(job)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(k)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        crit = active_config().effective_criterion
+        for i, res in enumerate(results):
+            assert res["batch"]["size"] == k  # they rode one batch
+            ref = cg(op, cols[i], criterion=crit)
+            assert np.array_equal(np.asarray(res["x"]), ref.x)
+            assert res["iterations"] == ref.iterations
+            assert res["residual_norm"] == ref.residual_norm
+            assert res["converged"] == ref.converged
+        stats = client.stats()
+        assert stats["service"]["coalesced_batches"] == 1
+        assert stats["service"]["vector_jobs"] == k
+        assert stats["service"]["batch_matmats"] > 0
+
+    def test_bad_rhs_fails_alone_not_the_batch(self, service):
+        svc, client = service
+        sid = 2257
+        _, op = platform_operator(sid, "test")
+        n = op.shape[0]
+        rng = np.random.default_rng(23)
+        good_rhs = rng.standard_normal(n)
+        outcomes = {}
+
+        def send(name, rhs):
+            job = VectorJob(sid=sid, scale="test",
+                            rhs=tuple(float(v) for v in rhs))
+            try:
+                outcomes[name] = client.solve_vector(job)
+            except ServiceError as exc:
+                outcomes[name] = exc
+
+        threads = [
+            threading.Thread(target=send, args=("good", good_rhs)),
+            threading.Thread(target=send, args=("bad", np.ones(3))),
+            threading.Thread(target=send, args=("good2", good_rhs)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert isinstance(outcomes["bad"], ServiceError)
+        assert "rhs must have length" in str(outcomes["bad"])
+        crit = active_config().effective_criterion
+        ref = cg(op, good_rhs, criterion=crit)
+        for name in ("good", "good2"):
+            assert not isinstance(outcomes[name], ServiceError)
+            assert np.array_equal(np.asarray(outcomes[name]["x"]), ref.x)
+
+    def test_unsupported_solver_rejected_up_front(self, service):
+        svc, client = service
+        job = VectorJob(sid=2257, scale="test", solver="block_cg")
+        with pytest.raises(ServiceError) as excinfo:
+            client.solve_vector(job)
+        assert excinfo.value.status == 400
+
+    def test_engine_request_matches_local_run(self, service):
+        svc, client = service
+        request = RunRequest(sid=353, solver="cg", scale="test",
+                             platforms=("gpu", "refloat"))
+        remote = client.solve(request)
+        local = run_request(request)
+        assert remote == local.to_dict()
+
+    def test_engine_failure_surfaces_as_structured_error(self, service):
+        svc, client = service
+        request = RunRequest(sid=999999, solver="cg", scale="test")
+        with pytest.raises(ServiceError) as excinfo:
+            client.solve(request)
+        err = excinfo.value
+        assert err.failure is not None or err.status in (400, 500)
+
+    def test_health_and_stats_endpoints(self, service):
+        svc, client = service
+        health = client.health()
+        assert health["ok"] is True
+        stats = client.stats()
+        assert {"service", "engine", "store", "remote_store"} <= set(stats)
+        assert stats["coalesce"]["max_batch"] == 3
+
+    def test_unknown_paths_and_malformed_bodies_get_4xx(self, service):
+        svc, client = service
+        status, payload = client._json("GET", "/v1/nope")
+        assert status == 404
+        status, _ = client._request("POST", "/v1/solve", b"{ not json")
+        assert status == 400
+        status, _ = client._request(
+            "POST", "/v1/solve",
+            json.dumps({"type": "Mystery"}).encode())
+        assert status == 400
+
+    def test_store_endpoints_without_root_return_503(self, service):
+        svc, client = service
+        status, _ = client._json("GET", "/v1/store/2257/test")
+        assert status == 503
+
+
+class TestServiceClient:
+    def test_parse_address(self):
+        assert parse_address("localhost:8537") == ("localhost", 8537)
+        assert parse_address("http://10.0.0.2:80/") == ("10.0.0.2", 80)
+        for bad in ("nohost", "host:", ":123", "host:port"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+    def test_unreachable_service_raises_after_retries(self):
+        client = ServiceClient("127.0.0.1:9", timeout=0.5, retries=2,
+                               backoff=0.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
+
+    def test_from_config_wires_retry_knobs(self):
+        cfg = RunConfig(request_timeout=7.0, request_retries=3,
+                        retry_backoff=0.25)
+        client = ServiceClient.from_config("h:1", cfg)
+        assert (client.timeout, client.retries, client.backoff) == (
+            7.0, 3, 0.25)

@@ -556,3 +556,57 @@ class TestFig10Rebuilt:
         assert solved.count(ExactOperator.__name__) == 1
         assert solved.count("NoisyReFloatOperator") == len(fig10.NOISE_SWEEP)
         assert len(data) == len(fig10.NOISE_SWEEP)
+
+
+class TestToleranceAxis:
+    """The sweep-level criterion axis (``SweepSpec.tols``)."""
+
+    def test_spec_validation_and_round_trip(self):
+        spec = SweepSpec(family="noisy", grid={"sigma": 0.001},
+                         tols=(1e-6, 1e-10))
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        with pytest.raises(ValueError, match="positive finite"):
+            SweepSpec(family="noisy", grid={"sigma": 0.001}, tols=(0.0,))
+        with pytest.raises(ValueError, match="positive finite"):
+            SweepSpec(family="noisy", grid={"sigma": 0.001}, tols=(-1e-8,))
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(family="noisy", grid={"sigma": 0.001},
+                      tols=(1e-8, 1e-8))
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepSpec(family="noisy", grid={"sigma": 0.001}, tols=())
+
+    def test_old_payload_without_tols_still_parses(self):
+        spec = SweepSpec(family="noisy", grid={"sigma": 0.001})
+        data = spec.to_dict()
+        del data["tols"]  # a payload from before the axis existed
+        assert SweepSpec.from_dict(data) == spec
+
+    def test_per_tolerance_cells_and_stamped_criteria(self, fresh_caches,
+                                                      drop_variants):
+        spec = SweepSpec(family="noisy", grid={"sigma": (0.001,)},
+                         sids=(2257,), scale="test", tols=(1e-6, 1e-10))
+        result = run_sweep(spec, max_workers=1)
+        token = spec.tokens()[0]
+        assert sorted(result.runs) == sorted(
+            [("cg", token, 1e-6), ("cg", token, 1e-10)])
+        loose = result.variant(token, tol=1e-6)[2257]
+        tight = result.variant(token, tol=1e-10)[2257]
+        # A tighter tolerance costs more iterations: the criterion really
+        # was replaced per cell, not shared.
+        assert tight.iterations(token) > loose.iterations(token)
+        # Default accessor = the first tolerance on the axis.
+        assert result.variant(token) is result.variant(token, tol=1e-6)
+        data = result.to_dict()
+        entry = data["variants"][token]
+        assert sorted(entry["tols"]) == ["1e-06", "1e-10"]
+        assert "solvers" not in entry  # the nested level replaces it
+
+    def test_no_tols_keeps_historical_shape(self, fresh_caches,
+                                            drop_variants):
+        spec = SweepSpec(family="noisy", grid={"sigma": (0.001,)},
+                         sids=(2257,), scale="test")
+        result = run_sweep(spec, max_workers=1)
+        token = spec.tokens()[0]
+        assert list(result.runs) == [("cg", token)]
+        entry = result.to_dict()["variants"][token]
+        assert sorted(entry) == ["params", "solvers"]
