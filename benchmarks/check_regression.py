@@ -27,13 +27,26 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
 def load_medians(path) -> dict:
-    """Map benchmark name -> median seconds from a pytest-benchmark JSON."""
+    """Map benchmark name -> median seconds from a pytest-benchmark JSON.
+
+    Numeric ``extra_info`` entries (the service benches record per-request
+    ``latency_p50_s``/``latency_p95_s`` there) become ``name[key]``
+    pseudo-kernels, so tail latency gates through the same threshold as
+    the medians.
+    """
     with open(path) as fh:
         data = json.load(fh)
     benches = data.get("benchmarks")
     if not isinstance(benches, list):
         raise SystemExit(f"{path}: not a pytest-benchmark JSON (no 'benchmarks')")
-    return {b["name"]: float(b["stats"]["median"]) for b in benches}
+    out = {}
+    for b in benches:
+        name = b["name"]
+        out[name] = float(b["stats"]["median"])
+        for key, value in (b.get("extra_info") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"{name}[{key}]"] = float(value)
+    return out
 
 
 def main(argv=None) -> int:

@@ -29,6 +29,7 @@ Resolution order, strongest first:
 | ``REPRO_REQUEST_TIMEOUT`` | ``request_timeout`` | per-request seconds     |
 | ``REPRO_REQUEST_RETRIES`` | ``request_retries`` | extra attempts on error |
 | ``REPRO_RETRY_BACKOFF``   | ``retry_backoff``   | backoff base seconds    |
+| ``REPRO_RUN_LEDGER``      | ``ledger``       | run-ledger root dir        |
 | ``REPRO_SERVICE_STORE``   | ``service_store``   | remote store base URL   |
 | ``REPRO_SERVICE_BATCH_WINDOW`` | ``service_batch_window`` | coalescing window (s) |
 | ``REPRO_SERVICE_BATCH_MAX`` | ``service_batch_max`` | max coalesced batch   |
@@ -193,6 +194,11 @@ class RunConfig:
     #: (``REPRO_SERVICE_COALESCE=0`` turns every request into its own
     #: batch — the benchmark baseline).
     service_coalesce: bool = True
+    #: Run-ledger root directory (``REPRO_RUN_LEDGER``).  ``None`` =
+    #: ``ledger/`` under the asset-store root (no store, no ledger); the
+    #: literal ``off``/``none``/``0`` disables the ledger outright.  See
+    #: :mod:`repro.experiments.ledger`.
+    ledger: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale is not None and self.scale not in SCALES:
@@ -247,6 +253,8 @@ class RunConfig:
             self.service_batch_max, "service_batch_max"))
         object.__setattr__(self, "service_coalesce",
                            bool(self.service_coalesce))
+        if self.ledger is not None:
+            object.__setattr__(self, "ledger", os.fspath(self.ledger))
 
     # -- environment ----------------------------------------------------
 
@@ -298,6 +306,7 @@ class RunConfig:
             if raw else 8)
         fields["service_coalesce"] = env.get("REPRO_SERVICE_COALESCE",
                                              "1") != "0"
+        fields["ledger"] = env.get("REPRO_RUN_LEDGER") or None
         fields["criterion"] = _criterion_from_env(env)
         fields.update(overrides)
         return cls(**fields)

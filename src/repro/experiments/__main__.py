@@ -26,6 +26,13 @@ Asset-store maintenance::
     python -m repro.experiments store --stats
     python -m repro.experiments store --gc --max-mb 512
 
+The run ledger (every completed suite/sweep/solve/service batch appends
+one record under ``$REPRO_ASSET_STORE/ledger/`` or ``REPRO_RUN_LEDGER``;
+``report`` replays it)::
+
+    python -m repro.experiments report
+    python -m repro.experiments report --json - --last 20
+
 The solve service (long-lived daemon + remote client)::
 
     python -m repro.experiments serve --host 127.0.0.1 --port 8537 \
@@ -54,7 +61,7 @@ from typing import List, Optional
 from repro.api import RunConfig, SuiteSpec
 from repro.api.specs import RunRequest
 
-_API_COMMANDS = ("suite", "solve", "sweep", "store", "serve")
+_API_COMMANDS = ("suite", "solve", "sweep", "store", "serve", "report")
 
 
 def _split_csv(text: Optional[str]) -> Optional[list]:
@@ -222,8 +229,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             return 3
         run = MatrixRun.from_dict(run_dict)
     else:
+        from repro.api import config as api_config
+        from repro.experiments import ledger
+
         with use_config(_run_config(args)):
             run = run_request(request)
+            ledger.record_run(
+                "solve", spec=request, scale=request.scale,
+                criterion=api_config.active().effective_criterion,
+                runs=(run,), platforms=run.platforms,
+                solvers=(request.solver,))
     print(f"{run.name} (sid {run.sid}, n={run.n_rows}, nnz={run.nnz}, "
           f"{run.n_blocks} blocks) — {run.solver}")
     for platform in run.platforms:
@@ -378,6 +393,109 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 marker = "" if entry["current"] else "  [stale version]"
                 print(f"  {entry['version']}/{entry['key']:<16} "
                       f"{entry['nbytes']:>12d} B{marker}")
+            led = stats.get("ledger") or {}
+            if led.get("path"):
+                print(f"ledger {led['path']}: {led['records']} records, "
+                      f"{led['nbytes']} bytes")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ledger as ledger_mod
+    from repro.experiments.common import MatrixRun
+    from repro.experiments.reporting import format_table
+
+    overrides = {}
+    if args.store is not None:
+        overrides["store"] = args.store
+    if args.ledger is not None:
+        overrides["ledger"] = args.ledger
+    path = ledger_mod.ledger_path(
+        ledger_mod.ledger_root(RunConfig.from_env(**overrides)))
+    if path is None:
+        print("no run ledger configured (set REPRO_ASSET_STORE or "
+              "REPRO_RUN_LEDGER, or pass --store / --ledger)",
+              file=sys.stderr)
+        return 2
+    records = ledger_mod.RunLedger(path).replay()
+    if args.last is not None:
+        records = records[-args.last:]
+
+    summaries = []
+    trajectory: dict = {}
+    kinds: dict = {}
+    sids: set = set()
+    platforms: set = set()
+    solvers: set = set()
+    failure_trend = []
+    for idx, rec in enumerate(records):
+        kind = rec.get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        runs = [MatrixRun.from_dict(r) for r in rec.get("runs") or ()]
+        failures = rec.get("failures") or []
+        attempted = len(runs) + len(failures)
+        failure_trend.append({
+            "record": idx, "kind": kind, "ts": rec.get("ts"),
+            "runs": len(runs), "failures": len(failures),
+            "rate": (round(len(failures) / attempted, 4)
+                     if attempted else 0.0),
+        })
+        summaries.append({
+            "record": idx, "kind": kind, "ts": rec.get("ts"),
+            "scale": rec.get("scale"), "git_sha": rec.get("git_sha"),
+            "registry": rec.get("registry") or {},
+            "runs": len(runs), "failures": len(failures),
+        })
+        for run in runs:
+            sids.add(run.sid)
+            solvers.add(run.solver)
+            for platform in run.platforms:
+                platforms.add(platform)
+                t = run.times_s.get(platform)
+                s = run.speedup(platform)
+                trajectory.setdefault((run.sid, run.solver, platform),
+                                      []).append({
+                    "record": idx, "ts": rec.get("ts"),
+                    "time_s": (t if t is not None
+                               and t < float("inf") else None),
+                    "iterations": run.iterations(platform),
+                    "converged": bool(run.results[platform].converged),
+                    "speedup_vs_gpu": s if s == s else None,
+                })
+
+    rows = []
+    for (sid, solver, platform), points in sorted(trajectory.items()):
+        finite = [p["time_s"] for p in points if p["time_s"] is not None]
+        first = finite[0] if finite else float("nan")
+        last = finite[-1] if finite else float("nan")
+        delta = (f"{(last - first) / first * 100.0:+.1f}%"
+                 if finite and first > 0 else "-")
+        rows.append([sid, solver, platform, len(points), first, last, delta])
+    print(format_table(
+        ["id", "solver", "platform", "runs", "first t(s)", "last t(s)",
+         "trend"],
+        rows,
+        title=f"run ledger {path} — perf trajectory over "
+              f"{len(records)} record(s)"))
+    kind_summary = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+    print(f"coverage: {kind_summary or 'no records'}; {len(sids)} matrix "
+          f"id(s), {len(platforms)} platform(s), {len(solvers)} solver(s)")
+    print(format_table(
+        ["record", "kind", "runs", "failures", "failure rate"],
+        [[f["record"], f["kind"], f["runs"], f["failures"],
+          f"{f['rate'] * 100.0:.1f}%"] for f in failure_trend],
+        title="failure-rate trend"))
+    _emit_json({
+        "type": "LedgerReport", "version": 1, "path": str(path),
+        "records": summaries,
+        "trajectory": {f"{sid}/{solver}/{platform}": points
+                       for (sid, solver, platform), points
+                       in sorted(trajectory.items())},
+        "coverage": {"kinds": kinds, "sids": sorted(sids),
+                     "platforms": sorted(platforms),
+                     "solvers": sorted(solvers)},
+        "failure_trend": failure_trend,
+    }, args.json_out)
     return 0
 
 
@@ -506,6 +624,21 @@ def _api_parser(command: str) -> argparse.ArgumentParser:
                             help="write the final service stats as JSON to "
                                  "OUT on shutdown, '-' for stdout")
         parser.set_defaults(func=_cmd_serve)
+    elif command == "report":
+        parser.add_argument("--store", default=None, metavar="PATH",
+                            help="store root whose ledger to replay "
+                                 "(default: REPRO_ASSET_STORE)")
+        parser.add_argument("--ledger", default=None, metavar="DIR",
+                            help="ledger root directory (default: "
+                                 "REPRO_RUN_LEDGER, or ledger/ under the "
+                                 "store root)")
+        parser.add_argument("--last", type=int, default=None, metavar="N",
+                            help="replay only the most recent N records")
+        parser.add_argument("--json", dest="json_out", metavar="OUT",
+                            default=None,
+                            help="write the report as JSON to OUT, '-' "
+                                 "for stdout")
+        parser.set_defaults(func=_cmd_report)
     else:  # store
         parser.add_argument("--store", default=None, metavar="PATH",
                             help="store root (default: REPRO_ASSET_STORE)")
@@ -540,10 +673,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate a table/figure of the ReFloat paper, or "
                     "run declarative jobs (suite/solve/sweep), store "
-                    "maintenance (store), or the solve service (serve).")
+                    "maintenance (store), the run-ledger report (report), "
+                    "or the solve service (serve).")
     parser.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"],
                         help="experiment to run (or: suite, solve, sweep, "
-                             "store, serve)")
+                             "store, serve, report)")
     parser.add_argument("--scale", choices=["test", "default", "paper"],
                         default=None,
                         help="matrix scale (default: 'default', or 'paper' "

@@ -113,6 +113,7 @@ from repro.api.sweep import (
     ensure_variant_platforms,
     is_variant_token,
 )
+from repro.experiments import ledger as run_ledger
 from repro.experiments import store
 from repro.formats.feinberg import FeinbergSpec
 from repro.formats.refloat import ReFloatSpec
@@ -1433,6 +1434,12 @@ def run_suite(solver: str, scale: Optional[str] = None,
                        if req.key() in results)
     runs.failures = tuple(failures)
     runs.stats = stats
+    run_ledger.record_run(
+        "suite",
+        spec=SuiteSpec(solver=solver, scale=scale, platforms=order,
+                       sids=ids),
+        scale=scale, criterion=crit, runs=runs.values(), failures=failures,
+        stats=stats, platforms=order, solvers=(solver,))
     if not failures:
         with _CACHE_LOCK:
             _CACHE[key] = runs
@@ -1645,10 +1652,11 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     if journal is not None:
         from repro.experiments.journal import (
             SweepJournal,
-            default_journal_path,
+            resolve_journal_path,
         )
 
-        path = default_journal_path(spec) if journal == "auto" else journal
+        path = (resolve_journal_path(spec, scale, crit)
+                if journal == "auto" else journal)
         jr = SweepJournal(path)
         if resume:
             journaled = jr.load(spec, scale, crit)
@@ -1713,6 +1721,10 @@ def run_sweep(spec: SweepSpec, use_cache: bool = True,
     result = SweepResult(spec=spec, scale=scale, criterion=crit, runs=runs,
                          params={token: params for token, params in variants},
                          failures=tuple(failures), stats=stats)
+    run_ledger.record_run(
+        "sweep", spec=spec, scale=scale, criterion=crit,
+        runs=results.values(), failures=failures, stats=stats,
+        platforms=swept, solvers=spec.solvers)
     if not failures:
         with _CACHE_LOCK:
             _CACHE[key] = result

@@ -19,40 +19,110 @@ residual histories do not.  A resume validates the header against the
 sweep being run — journals never silently mix grids — and tolerates a
 torn final line (the record being written when the process died).
 
+The journal is a thin specialisation of the shared
+:class:`repro.experiments.ledger.JsonlLog` core (the run ledger is the
+other consumer): the core owns the fsynced append and the
+torn-line-tolerant replay; this module owns the header pinning and the
+later-records-win keyed replay.
+
 The default location (when a caller asks for a journal without naming a
-path) lives under the asset-store root, keyed by a digest of the spec:
-``$REPRO_ASSET_STORE/journals/sweep-<digest>.jsonl`` — the same sweep
-spec always resumes from the same file.
+path) lives under the asset-store root, keyed by a digest of everything
+the header pins — spec, resolved scale, criterion:
+``$REPRO_ASSET_STORE/journals/sweep-<digest>.jsonl`` — so the same sweep
+always resumes from the same file and two sweeps of the same grid at
+different scales or tolerances get *different* files.  Journals written
+before the digest included scale/criterion are still found:
+:func:`resolve_journal_path` falls back to the old-digest path when its
+header matches the sweep being run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.api import config as api_config
 from repro.api.sweep import SweepSpec
 from repro.experiments import store
+from repro.experiments.ledger import JsonlLog
 from repro.solvers.base import ConvergenceCriterion
 
-__all__ = ["JOURNAL_VERSION", "SweepJournal", "default_journal_path"]
+__all__ = ["JOURNAL_VERSION", "SweepJournal", "default_journal_path",
+           "resolve_journal_path"]
 
 JOURNAL_VERSION = 1
 
 
-def default_journal_path(spec: SweepSpec) -> Path:
-    """The store-rooted journal path for ``spec`` (stable across runs)."""
+def _journal_root() -> Path:
     root = store.store_root()
     if root is None:
         raise ValueError(
             "no asset store configured: a default journal path needs "
             "REPRO_ASSET_STORE (or RunConfig.store) set, or pass an "
             "explicit journal path")
-    digest = hashlib.sha256(spec.to_json().encode()).hexdigest()[:16]
-    return Path(root) / "journals" / f"sweep-{digest}.jsonl"
+    return Path(root) / "journals"
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _resolve_pins(spec: SweepSpec, scale: Optional[str],
+                  criterion: Optional[ConvergenceCriterion]):
+    """The (scale, criterion) the journal header will pin for ``spec``."""
+    from repro.sparse.gallery.suite import resolve_scale
+
+    scale = resolve_scale(spec.scale if scale is None else scale)
+    if criterion is None:
+        criterion = api_config.active().effective_criterion
+    return scale, criterion
+
+
+def default_journal_path(spec: SweepSpec, scale: Optional[str] = None,
+                         criterion: Optional[ConvergenceCriterion] = None,
+                         ) -> Path:
+    """The store-rooted journal path for ``spec`` (stable across runs).
+
+    The digest covers everything the journal header pins — the spec
+    *and* the resolved scale *and* the criterion — so sweeps that differ
+    only in scale or tolerance get distinct files instead of one file
+    and a header-mismatch refusal.  ``scale``/``criterion`` default to
+    the spec's scale (resolved against the active config) and the active
+    config's criterion, exactly as ``run_sweep`` resolves them.
+    """
+    scale, criterion = _resolve_pins(spec, scale, criterion)
+    payload = json.dumps(
+        {"spec": spec.to_dict(), "scale": scale,
+         "criterion": asdict(criterion)}, sort_keys=True)
+    return _journal_root() / f"sweep-{_digest(payload)}.jsonl"
+
+
+def _legacy_journal_path(spec: SweepSpec) -> Path:
+    """The pre-fix path whose digest covered only the spec."""
+    return _journal_root() / f"sweep-{_digest(spec.to_json())}.jsonl"
+
+
+def resolve_journal_path(spec: SweepSpec, scale: Optional[str] = None,
+                         criterion: Optional[ConvergenceCriterion] = None,
+                         ) -> Path:
+    """The path an ``"auto"`` journal uses for ``spec``.
+
+    Prefers :func:`default_journal_path`; when that file does not exist
+    yet but an old-digest file does *and* its header pins exactly this
+    sweep, the old file is returned so journals written before the
+    digest fix keep resuming.
+    """
+    scale, criterion = _resolve_pins(spec, scale, criterion)
+    path = default_journal_path(spec, scale, criterion)
+    if not path.exists():
+        legacy = _legacy_journal_path(spec)
+        if legacy.exists() and SweepJournal(legacy).matches(
+                spec, scale, criterion):
+            return legacy
+    return path
 
 
 class SweepJournal:
@@ -60,7 +130,7 @@ class SweepJournal:
 
     def __init__(self, path) -> None:
         self.path = Path(path)
-        self._fh = None
+        self._log = JsonlLog(path)
 
     def _header(self, spec: SweepSpec, scale: str,
                 criterion: ConvergenceCriterion) -> Dict:
@@ -69,6 +139,24 @@ class SweepJournal:
             "spec": spec.to_dict(), "scale": scale,
             "criterion": asdict(criterion),
         }
+
+    @staticmethod
+    def _normalise_header(record: Dict) -> Dict:
+        # Journals written before the tolerance axis existed have no
+        # "tols" key in their spec dict; absent means the same thing
+        # None does now.
+        if isinstance(record, dict) and isinstance(record.get("spec"), dict):
+            record["spec"].setdefault("tols", None)
+        return record
+
+    def matches(self, spec: SweepSpec, scale: str,
+                criterion: ConvergenceCriterion) -> bool:
+        """Whether this file's header pins exactly this sweep."""
+        for lineno, record in self._log.replay(torn="stop"):
+            return (lineno == 0
+                    and self._normalise_header(record)
+                    == self._header(spec, scale, criterion))
+        return False
 
     def load(self, spec: SweepSpec, scale: str,
              criterion: ConvergenceCriterion) -> Dict[str, "object"]:
@@ -86,45 +174,29 @@ class SweepJournal:
             return {}
         expected = self._header(spec, scale, criterion)
         runs: Dict[str, MatrixRun] = {}
-        with open(self.path, "r") as fh:
-            for lineno, line in enumerate(fh):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    break  # torn trailing record: the crash point
-                if lineno == 0:
-                    # Journals written before the tolerance axis existed
-                    # have no "tols" key in their spec dict; absent means
-                    # the same thing None does now.
-                    if isinstance(record.get("spec"), dict):
-                        record["spec"].setdefault("tols", None)
-                    if record != expected:
-                        raise ValueError(
-                            f"journal {self.path} was written by a "
-                            f"different sweep (spec/scale/criterion "
-                            f"mismatch); refusing to resume")
-                    continue
-                runs[record["key"]] = MatrixRun.from_dict(record["run"])
+        for lineno, record in self._log.replay(torn="stop"):
+            if lineno == 0:
+                if self._normalise_header(record) != expected:
+                    raise ValueError(
+                        f"journal {self.path} was written by a "
+                        f"different sweep (spec/scale/criterion "
+                        f"mismatch); refusing to resume")
+                continue
+            runs[record["key"]] = MatrixRun.from_dict(record["run"])
         return runs
 
     def open(self, spec: SweepSpec, scale: str,
              criterion: ConvergenceCriterion, resume: bool) -> None:
         """Open for appending.  Fresh runs truncate and write the header;
         resumes (validated by :meth:`load` first) append after it."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and self.path.exists():
-            self._fh = open(self.path, "a")
+            self._log.open(truncate=False)
             return
-        self._fh = open(self.path, "w")
+        self._log.open(truncate=True)
         self._append(self._header(spec, scale, criterion))
 
     def _append(self, record: Dict) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        self._log.append(record)
 
     def record(self, key: str, run) -> None:
         """Append one completed result (flushed + fsynced: a record either
@@ -132,9 +204,7 @@ class SweepJournal:
         self._append({"key": key, "run": run.to_dict()})
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._log.close()
 
     def __enter__(self) -> "SweepJournal":
         return self

@@ -553,7 +553,12 @@ def entry_stats(root: Optional[Path] = None) -> list:
 
 
 def store_stats(root: Optional[Path] = None) -> Dict[str, object]:
-    """Aggregate store usage: entry count, total bytes, per-entry detail."""
+    """Aggregate store usage: entry count, total bytes, per-entry detail,
+    plus the run ledger's record count/size (the ledger lives under the
+    store root but outside the ``v*`` entry namespace, so it is invisible
+    to — and safe from — :func:`gc_store`)."""
+    from repro.experiments import ledger
+
     entries = entry_stats(root)
     store = store_root() if root is None else Path(root)
     return {
@@ -561,6 +566,7 @@ def store_stats(root: Optional[Path] = None) -> Dict[str, object]:
         "entries": len(entries),
         "nbytes": sum(e["nbytes"] for e in entries),
         "per_entry": entries,
+        "ledger": ledger.ledger_stats(),
     }
 
 

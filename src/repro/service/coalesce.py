@@ -24,12 +24,28 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Tuple
 
-__all__ = ["Coalescer", "ServiceCounters"]
+__all__ = ["Coalescer", "ServiceCounters", "latency_percentile"]
+
+
+def latency_percentile(samples, q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 when empty).
+
+    Deliberately dependency-free (the service layer is stdlib-only) and
+    shared by the stats endpoint and the service benchmarks, so both
+    report the same definition of p50/p95.
+    """
+    values = sorted(samples)
+    if not values:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q!r}")
+    rank = max(1, int(-(-len(values) * q // 100)))  # ceil without math
+    return float(values[rank - 1])
 
 
 class ServiceCounters:
@@ -51,6 +67,10 @@ class ServiceCounters:
         self.latency_count = 0
         self.latency_total_s = 0.0
         self.latency_max_s = 0.0
+        # A bounded reservoir of the most recent per-request latencies:
+        # enough for stable p50/p95 over recent traffic, flat memory for
+        # a long-lived daemon.
+        self._latencies: "deque[float]" = deque(maxlen=4096)
         self.store_requests = 0
 
     def note_enqueued(self, kind: str) -> None:
@@ -85,6 +105,7 @@ class ServiceCounters:
             self.latency_count += 1
             self.latency_total_s += seconds
             self.latency_max_s = max(self.latency_max_s, seconds)
+            self._latencies.append(seconds)
 
     def note_store_request(self) -> None:
         with self._lock:
@@ -109,6 +130,8 @@ class ServiceCounters:
                     "count": self.latency_count,
                     "total_s": round(self.latency_total_s, 6),
                     "max_s": round(self.latency_max_s, 6),
+                    "p50_s": round(latency_percentile(self._latencies, 50), 6),
+                    "p95_s": round(latency_percentile(self._latencies, 95), 6),
                 },
             }
 

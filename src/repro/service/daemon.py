@@ -204,6 +204,8 @@ class SolveService:
 
     def _run_engine_batch(self, key: str,
                           jobs: List[RunRequest]) -> List[Dict[str, Any]]:
+        from repro.api.platforms import DEFAULT_PLATFORMS
+        from repro.experiments import ledger
         from repro.experiments.common import _execute_requests, _suite_workers
 
         uniq: Dict[str, RunRequest] = {}
@@ -226,6 +228,20 @@ class SolveService:
             for name, value in stats.to_dict().items():
                 self._engine_totals[name] = (
                     self._engine_totals.get(name, 0) + value)
+        # One ledger record per engine batch — the service-side analogue
+        # of a run_suite record, with the coalescing shape attached.
+        ledger.record_run(
+            "service",
+            spec={"type": "ServiceBatch", "version": SERVICE_VERSION,
+                  "requests": [req.to_dict() for req in requests]},
+            scale=None, criterion=cfg.effective_criterion,
+            runs=list(results.values()), failures=failures, stats=stats,
+            platforms=[p for req in requests
+                       for p in (req.platforms or DEFAULT_PLATFORMS)],
+            solvers=[req.solver for req in requests],
+            extra={"service": {"batch_jobs": len(jobs),
+                               "unique_requests": len(requests),
+                               "coalesced": len(jobs) > len(requests)}})
         by_failure = {f.key: f for f in failures}
         outs = []
         for req in jobs:
@@ -250,7 +266,7 @@ class SolveService:
     # -- introspection and the store protocol ----------------------------
 
     def stats(self) -> Dict[str, Any]:
-        from repro.experiments import store
+        from repro.experiments import ledger, store
         from repro.service import remote_store
 
         return {
@@ -264,6 +280,7 @@ class SolveService:
             },
             "service": self.counters.to_dict(),
             "engine": dict(self._engine_totals),
+            "ledger": ledger.ledger_stats(),
             "store": store.counters(),
             "remote_store": remote_store.counters(),
         }

@@ -5,9 +5,18 @@ import os
 
 import pytest
 
-from repro.experiments import store
+from repro.experiments import ledger, store
 from repro.experiments.__main__ import main as cli_main
 from repro.experiments.common import clear_run_caches, matrix_assets
+
+
+def _ledger_record():
+    """Append one minimal ledger record; returns the ledger file path."""
+    path = ledger.ledger_path()
+    ledger.RunLedger(path).append(
+        {"type": "RunLedger", "version": ledger.LEDGER_VERSION,
+         "kind": "suite"})
+    return path
 
 
 @pytest.fixture
@@ -57,6 +66,17 @@ class TestStoreStats:
         versions = {(e["version"], e["current"]) for e in entries}
         assert ("v0", False) in versions
         assert (f"v{store.STORE_VERSION}", True) in versions
+
+    def test_stats_reports_ledger_totals(self, store_env):
+        matrix_assets(353, "test")
+        path = _ledger_record()
+        stats = store.store_stats()
+        assert stats["ledger"]["path"] == str(path)
+        assert stats["ledger"]["records"] == 1
+        assert stats["ledger"]["nbytes"] == path.stat().st_size
+        # The ledger is not a store entry: it never shows up in (or
+        # counts toward) the eviction namespace.
+        assert {e["key"] for e in stats["per_entry"]} == {"353-test"}
 
 
 class TestStoreGC:
@@ -135,17 +155,34 @@ class TestStoreGC:
         assert store.has_entry(353, "test")
 
 
+    def test_gc_never_evicts_the_ledger(self, store_env):
+        matrix_assets(353, "test")
+        matrix_assets(1311, "test")
+        path = _ledger_record()
+        result = store.gc_store(0)
+        assert len(result["evicted"]) == 2
+        assert store.entry_stats() == []  # every entry gone...
+        assert path.is_file()             # ...the ledger untouched
+        assert len(ledger.RunLedger(path).replay()) == 1
+
+
 class TestCLI:
     def test_store_stats_and_gc(self, store_env, capsys):
         matrix_assets(353, "test")
         matrix_assets(1311, "test")
+        path = _ledger_record()
         assert cli_main(["store", "--stats"]) == 0
         out = capsys.readouterr().out
         assert "2 entries" in out and "353-test" in out
+        assert f"ledger {path}: 1 records" in out
         assert cli_main(["store", "--gc", "--max-mb", "0"]) == 0
         out = capsys.readouterr().out
         assert "evicted 2 entries" in out
         assert store.entry_stats() == []
+        # The regression this pins: a tiny GC budget clears the whole
+        # entry namespace but must leave ledger/ intact.
+        assert path.is_file()
+        assert len(ledger.RunLedger(path).replay()) == 1
 
     def test_store_requires_configuration(self, monkeypatch, capsys):
         monkeypatch.delenv("REPRO_ASSET_STORE", raising=False)
